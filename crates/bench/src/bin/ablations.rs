@@ -1,0 +1,13 @@
+//! Runs the ablation studies (locality penalty, share policy, coordination
+//! overhead). Pass `--quick` for reduced sweeps.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for out in [
+        calciom_bench::figures::ablation::run_gamma(quick),
+        calciom_bench::figures::ablation::run_share_policy(quick),
+        calciom_bench::figures::ablation::run_overhead(quick),
+    ] {
+        println!("{}", out.render());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates every figure of the paper (plus the ablation studies) and
+//! prints the series each one plots. Pass `--quick` for reduced sweeps.
+//!
+//! The output of a full run is the source for `EXPERIMENTS.md`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for (name, runner) in calciom_bench::all_experiments() {
+        eprintln!("running {name} ...");
+        let out = runner(quick);
+        println!("{}", out.render());
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 1 — job sizes and number of concurrent jobs on Intrepid.
+//!
+//! Panel (a): histogram and CDF of job sizes (fraction of jobs per
+//! power-of-two core-count bucket). Panel (b): time-weighted distribution
+//! of the number of concurrently running jobs. Reproduced from the
+//! synthetic Intrepid-like trace (the original archive trace is not
+//! redistributable; see DESIGN.md).
+
+use super::FigureOutput;
+use iobench::{FigureData, Series};
+use workloads::{generate, ConcurrencyDistribution, SyntheticTraceConfig, SIZE_BUCKETS};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> FigureOutput {
+    let cfg = SyntheticTraceConfig {
+        jobs: if quick { 3_000 } else { 20_000 },
+        ..Default::default()
+    };
+    let trace = generate(&cfg);
+
+    let mut out = FigureOutput::new("Figure 1 — job sizes and concurrency on an Intrepid-like trace");
+
+    // Panel (a): job-size histogram (% of jobs) and CDF.
+    let mut hist = Series::new("% of jobs (histogram)");
+    let mut cdf = Series::new("% of jobs (CDF)");
+    let mut acc = 0.0;
+    for (size, _) in SIZE_BUCKETS {
+        let in_bucket = trace
+            .jobs()
+            .iter()
+            .filter(|j| j.procs == size)
+            .count() as f64
+            / trace.len().max(1) as f64;
+        acc += in_bucket;
+        hist.push(size as f64, 100.0 * in_bucket);
+        cdf.push(size as f64, 100.0 * acc);
+    }
+    let mut panel_a = FigureData::new("Figure 1(a) — distribution of job sizes", "cores", "% of jobs");
+    panel_a.add_series(hist);
+    panel_a.add_series(cdf);
+    out.figures.push(panel_a);
+
+    // Panel (b): number of concurrent jobs, time weighted.
+    let concurrency = ConcurrencyDistribution::from_trace(&trace);
+    let mut panel_b = FigureData::new(
+        "Figure 1(b) — number of concurrent jobs by time unit",
+        "concurrent jobs",
+        "proportion of total time",
+    );
+    let mut series = Series::new("proportion of time");
+    for (n, p) in concurrency.probabilities().iter().enumerate() {
+        if n > 64 {
+            break;
+        }
+        series.push(n as f64, *p);
+    }
+    panel_b.add_series(series);
+    out.figures.push(panel_b);
+
+    out.notes.push(format!(
+        "fraction of jobs at or below 2048 cores: {:.1}% (paper: ~50%)",
+        100.0 * trace.fraction_of_jobs_at_most(2048)
+    ));
+    out.notes.push(format!(
+        "machine-time-weighted fraction at or below 2048 cores: {:.1}% (paper: ~50%)",
+        100.0 * trace.time_weighted_fraction_at_most(2048)
+    ));
+    out.notes.push(format!(
+        "mean number of concurrently running jobs: {:.1}",
+        concurrency.mean()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_two_panels_and_sane_fractions() {
+        let out = run(true);
+        assert_eq!(out.figures.len(), 2);
+        let cdf = out.figures[0].series("% of jobs (CDF)").unwrap();
+        let last = cdf.points.last().unwrap().1;
+        assert!((last - 100.0).abs() < 1.0, "CDF should end near 100%, got {last}");
+        assert!(!out.figures[1].series[0].points.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 3 — impact of interference on the storage-side write cache.
+//!
+//! One IOR instance writes every 10 seconds, another every 7 seconds, on a
+//! PVFS deployment with kernel caching enabled in the storage backend.
+//! Panel (a): per-iteration throughput of the first instance running alone.
+//! Panel (b): the same with the second instance running — iterations whose
+//! bursts coincide with the other application's collapse to disk speed.
+
+use super::{FigureOutput, MB};
+use calciom::{AccessPattern, AppConfig, AppId, PfsConfig};
+use iobench::{run_periodic, FigureData, PeriodicConfig, Series};
+use simcore::SimDuration;
+
+fn writer(id: usize, name: &str, period_secs: f64, iterations: u32) -> AppConfig {
+    AppConfig::new(AppId(id), name, 336, AccessPattern::contiguous(16.0 * MB))
+        .with_periodic_phases(iterations, SimDuration::from_secs(period_secs))
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> FigureOutput {
+    let iterations = if quick { 6 } else { 10 };
+    let pfs = PfsConfig::grid5000_nancy();
+
+    let alone = run_periodic(&PeriodicConfig {
+        pfs: pfs.clone(),
+        app_a: writer(0, "App 1", 10.0, iterations),
+        app_b: None,
+    })
+    .expect("figure 3 alone run");
+    let interfered = run_periodic(&PeriodicConfig {
+        pfs,
+        app_a: writer(0, "App 1", 10.0, iterations),
+        app_b: Some(writer(1, "App 2", 7.0, iterations)),
+    })
+    .expect("figure 3 interfered run");
+
+    let to_mbps = |series: &[f64]| -> Series {
+        let mut s = Series::new("App 1 throughput");
+        for (i, t) in series.iter().enumerate() {
+            s.push((i + 1) as f64, t / MB);
+        }
+        s
+    };
+
+    let mut panel_a = FigureData::new(
+        "Figure 3(a) — without interference (writes every 10 s)",
+        "iteration",
+        "throughput (MB/s)",
+    );
+    panel_a.add_series(to_mbps(&alone.a_throughputs));
+    let mut panel_b = FigureData::new(
+        "Figure 3(b) — with a second instance writing every 7 s",
+        "iteration",
+        "throughput (MB/s)",
+    );
+    panel_b.add_series(to_mbps(&interfered.a_throughputs));
+
+    let mut out = FigureOutput::new("Figure 3 — cache thrashing under interference");
+    out.notes.push(format!(
+        "alone: min {:.0} MB/s, max {:.0} MB/s per iteration",
+        alone.a_min() / MB,
+        alone.a_max() / MB
+    ));
+    out.notes.push(format!(
+        "interfered: min {:.0} MB/s (collapsed iterations), max {:.0} MB/s; collapse factor {:.1}×",
+        interfered.a_min() / MB,
+        interfered.a_max() / MB,
+        alone.a_min() / interfered.a_min().max(1.0)
+    ));
+    out.figures.push(panel_a);
+    out.figures.push(panel_b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coinciding_bursts_collapse_throughput() {
+        let out = run(true);
+        assert_eq!(out.figures.len(), 2);
+        let alone_min = out.figures[0].series[0].min_y().unwrap();
+        let interfered_min = out.figures[1].series[0].min_y().unwrap();
+        assert!(
+            interfered_min < 0.7 * alone_min,
+            "interfered min {interfered_min} vs alone min {alone_min}"
+        );
+    }
+}

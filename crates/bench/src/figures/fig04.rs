@@ -1,0 +1,77 @@
+//! Figure 4 — a small application interfering with a big one.
+//!
+//! Application A runs on 336 processes, application B's size varies; each
+//! process writes 16 MB and both applications start at the same time. The
+//! figure reports the observed throughputs against B's size: an 8-core B
+//! sees a ≈ 6× decrease compared with running alone.
+
+use super::{FigureOutput, MB};
+use calciom::{AccessPattern, AppConfig, AppId, PfsConfig};
+use iobench::{run_size_sweep, FigureData, Series, SizeSweepConfig};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> FigureOutput {
+    let pattern = AccessPattern::contiguous(16.0 * MB);
+    let b_sizes: Vec<u32> = if quick {
+        vec![8, 48, 168, 336]
+    } else {
+        vec![8, 16, 24, 48, 96, 168, 252, 336]
+    };
+    let cfg = SizeSweepConfig {
+        pfs: PfsConfig::grid5000_rennes(),
+        app_a: AppConfig::new(AppId(0), "App A", 336, pattern),
+        app_b: AppConfig::new(AppId(1), "App B", 8, pattern),
+        b_sizes,
+        threads: 0,
+    };
+    let points = run_size_sweep(&cfg).expect("figure 4 sweep");
+
+    let mut fig = FigureData::new(
+        "Figure 4 — App A on 336 cores, App B size varies, 16 MB/process, dt = 0",
+        "cores of B",
+        "throughput (MB/s)",
+    );
+    let mut a_alone = Series::new("A alone");
+    let mut b_alone = Series::new("B alone");
+    let mut a_obs = Series::new("A with interference");
+    let mut b_obs = Series::new("B with interference");
+    let mut slowdown = Series::new("B slowdown (x)");
+    for p in &points {
+        let x = p.b_procs as f64;
+        a_alone.push(x, p.a_alone_throughput / MB);
+        b_alone.push(x, p.b_alone_throughput / MB);
+        a_obs.push(x, p.a_throughput / MB);
+        b_obs.push(x, p.b_throughput / MB);
+        slowdown.push(x, p.b_slowdown);
+    }
+    fig.add_series(a_alone);
+    fig.add_series(b_alone);
+    fig.add_series(a_obs);
+    fig.add_series(b_obs);
+    fig.add_series(slowdown);
+
+    let mut out = FigureOutput::new("Figure 4 — aggregate throughput, small B against big A");
+    if let Some(p) = points.first() {
+        out.notes.push(format!(
+            "B on {} cores: {:.1}× throughput decrease when interfering with A (paper: ~6× for 8 cores)",
+            p.b_procs, p.b_slowdown
+        ));
+    }
+    out.figures.push(fig);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_b_is_crushed_big_b_less_so() {
+        let out = run(true);
+        let slowdown = out.figures[0].series("B slowdown (x)").unwrap();
+        let first = slowdown.points.first().unwrap().1;
+        let last = slowdown.points.last().unwrap().1;
+        assert!(first > 3.0, "8-core slowdown {first}");
+        assert!(last < first, "slowdown should shrink with B's size");
+    }
+}

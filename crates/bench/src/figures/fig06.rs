@@ -1,0 +1,86 @@
+//! Figure 6 — Δ-graphs for unequal application sizes.
+//!
+//! A total of 768 cores is split into App B (N cores) and App A (768 − N),
+//! N ∈ {24, 48, 96, 192, 384}; each process writes 16 MB as 8 strides of
+//! 2 MB. Panel (a): interference factor of the big application; panel (b):
+//! interference factor of the small one, which reaches ≈ 14 for the 24-core
+//! instance.
+
+use super::{dts, FigureOutput, MB};
+use calciom::{AccessPattern, AppConfig, AppId, PfsConfig, Strategy};
+use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> FigureOutput {
+    let splits: Vec<u32> = if quick {
+        vec![24, 384]
+    } else {
+        vec![24, 48, 96, 192, 384]
+    };
+    let pattern = AccessPattern::strided(2.0 * MB, 8);
+    let dts = dts(quick, -25.0, 25.0, 5.0);
+
+    let mut panel_a = FigureData::new(
+        "Figure 6(a) — Δ-graph of App A (big)",
+        "dt (sec)",
+        "interference factor",
+    );
+    let mut panel_b = FigureData::new(
+        "Figure 6(b) — Δ-graph of App B (small)",
+        "dt (sec)",
+        "interference factor",
+    );
+    let mut max_b_factor: f64 = 1.0;
+    let mut max_b_cores = 0;
+
+    for &n in &splits {
+        let big = 768 - n;
+        let app_a = AppConfig::new(AppId(0), format!("A {big} cores"), big, pattern);
+        let app_b = AppConfig::new(AppId(1), format!("B {n} cores"), n, pattern);
+        let cfg = DeltaSweepConfig::new(PfsConfig::grid5000_rennes(), app_a, app_b, dts.clone())
+            .with_strategy(Strategy::Interfere);
+        let sweep = run_delta_sweep(&cfg).expect("figure 6 sweep");
+        let mut series_a = Series::new(format!("{big} cores"));
+        let mut series_b = Series::new(format!("{n} cores"));
+        for p in &sweep.points {
+            series_a.push(p.dt, p.a_factor);
+            series_b.push(p.dt, p.b_factor);
+        }
+        if sweep.max_b_factor() > max_b_factor {
+            max_b_factor = sweep.max_b_factor();
+            max_b_cores = n;
+        }
+        panel_a.add_series(series_a);
+        panel_b.add_series(series_b);
+    }
+
+    let mut out = FigureOutput::new("Figure 6 — interference factors for 768-core splits");
+    out.notes.push(format!(
+        "worst small-application interference factor: {:.1}× for the {}-core instance (paper: ~14× for 24 cores)",
+        max_b_factor, max_b_cores
+    ));
+    out.notes.push(
+        "for dt < 0 the small application writes before the big one starts and is barely impacted"
+            .to_string(),
+    );
+    out.figures.push(panel_a);
+    out.figures.push(panel_b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_application_is_hit_much_harder_than_big_one() {
+        let out = run(true);
+        let small = out.figures[1].series("24 cores").unwrap();
+        let big = out.figures[0].series("744 cores").unwrap();
+        assert!(small.max_y().unwrap() > 5.0, "small max {:?}", small.max_y());
+        assert!(big.max_y().unwrap() < 3.0, "big max {:?}", big.max_y());
+        // Left side of the Δ-graph (B writes first): B barely impacted.
+        let first_x = out.figures[1].x_values()[0];
+        assert!(small.y_at(first_x).unwrap() < 2.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 9 — three policies for equal and unequal application sizes.
+//!
+//! Two applications write 8 MB per process using a strided pattern. The
+//! 768 cores are split 744/24 (panels a, b) and 384/384 (panels c, d). The
+//! interference factor of each application is shown against dt for the
+//! three policies: interfering, FCFS serialization, and interruption of
+//! the application accessing first. FCFS hurts the late small application;
+//! interruption rescues it at a small cost to the big one, but becomes
+//! counter-productive between equal applications.
+
+use super::{dts, FigureOutput, MB};
+use calciom::{AccessPattern, AppConfig, AppId, Granularity, PfsConfig, Strategy};
+use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
+
+fn split_panels(quick: bool, small: u32, panel_prefix: &str) -> (FigureData, FigureData) {
+    let big = 768 - small;
+    // 16 MB per process as 8 strides of 2 MB (the Fig. 6 pattern): long
+    // enough phases that the swept dt values overlap the ongoing access.
+    let pattern = AccessPattern::strided(2.0 * MB, 8);
+    let app_a = AppConfig::new(AppId(0), format!("A {big}"), big, pattern);
+    let app_b = AppConfig::new(AppId(1), format!("B {small}"), small, pattern);
+    let dt_values = dts(quick, -15.0, 25.0, 5.0);
+
+    let mut panel_big = FigureData::new(
+        format!("{panel_prefix} App A (big, {big} cores)"),
+        "dt (sec)",
+        "interference factor",
+    );
+    let mut panel_small = FigureData::new(
+        format!("{panel_prefix} App B (small, {small} cores)"),
+        "dt (sec)",
+        "interference factor",
+    );
+    for strategy in [
+        Strategy::Interfere,
+        Strategy::FcfsSerialize,
+        Strategy::Interrupt,
+    ] {
+        let cfg = DeltaSweepConfig::new(
+            PfsConfig::grid5000_rennes(),
+            app_a.clone(),
+            app_b.clone(),
+            dt_values.clone(),
+        )
+        .with_strategy(strategy)
+        .with_granularity(Granularity::Round);
+        let sweep = run_delta_sweep(&cfg).expect("figure 9 sweep");
+        let mut series_a = Series::new(strategy.label().to_string());
+        let mut series_b = Series::new(strategy.label().to_string());
+        for p in &sweep.points {
+            series_a.push(p.dt, p.a_factor);
+            series_b.push(p.dt, p.b_factor);
+        }
+        panel_big.add_series(series_a);
+        panel_small.add_series(series_b);
+    }
+    (panel_big, panel_small)
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> FigureOutput {
+    let mut out = FigureOutput::new("Figure 9 — interference factor under three policies");
+    let (a, b) = split_panels(quick, 24, "Figure 9(a)/(b) —");
+    let (c, d) = split_panels(quick, 384, "Figure 9(c)/(d) —");
+    out.figures.extend([a, b, c, d]);
+    out.notes.push(
+        "unequal sizes: FCFS penalizes the late small application, interruption rescues it at a \
+         small cost to the big one"
+            .to_string(),
+    );
+    out.notes.push(
+        "equal sizes: interruption is counter-productive (the interrupted application pays the \
+         full delay), FCFS is the better serialization"
+            .to_string(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interruption_helps_small_app_and_hurts_equal_sized_app() {
+        let out = run(true);
+        // Panel (b): the small application at the first positive dt (the
+        // big application is still in the middle of its access there).
+        let small = &out.figures[1];
+        let x = *small
+            .x_values()
+            .iter()
+            .find(|&&x| x > 0.0)
+            .expect("a positive dt in the sweep");
+        let fcfs = small.series("fcfs").unwrap().y_at(x).unwrap();
+        let interrupt = small.series("interrupt").unwrap().y_at(x).unwrap();
+        assert!(
+            interrupt < 0.5 * fcfs,
+            "interruption should rescue the small app: interrupt={interrupt} fcfs={fcfs}"
+        );
+        // Panel (c): the big application of the equal split suffers more
+        // under interruption than under FCFS at positive dt.
+        let equal_a = &out.figures[2];
+        let fcfs = equal_a.series("fcfs").unwrap().y_at(x).unwrap();
+        let interrupt = equal_a.series("interrupt").unwrap().y_at(x).unwrap();
+        assert!(
+            interrupt > fcfs,
+            "interruption should be counter-productive for equal apps: interrupt={interrupt} fcfs={fcfs}"
+        );
+    }
+}

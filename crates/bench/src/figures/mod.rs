@@ -1,0 +1,62 @@
+//! One module per figure of the paper's evaluation section.
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod sec2b;
+
+use iobench::FigureData;
+
+/// Result of one figure experiment: the curves the paper plots plus
+/// free-form notes (headline numbers, decision boundaries).
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Identifier (e.g. "Figure 7").
+    pub id: String,
+    /// One table per panel of the figure.
+    pub figures: Vec<FigureData>,
+    /// Headline observations to record in EXPERIMENTS.md.
+    pub notes: Vec<String>,
+}
+
+impl FigureOutput {
+    /// Creates an output with no panels yet.
+    pub fn new(id: impl Into<String>) -> Self {
+        FigureOutput {
+            id: id.into(),
+            figures: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renders every panel and note as plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!("==== {} ====\n", self.id);
+        for fig in &self.figures {
+            out.push_str(&fig.to_table());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// Shared workload constant: one megabyte.
+pub const MB: f64 = 1.0e6;
+
+/// dt resolution helper: full resolution or the reduced quick sweep.
+pub fn dts(quick: bool, lo: f64, hi: f64, step_full: f64) -> Vec<f64> {
+    let step = if quick { (hi - lo) / 4.0 } else { step_full };
+    iobench::dt_range(lo, hi, step)
+}

@@ -1,0 +1,62 @@
+//! Section II-B — probability of concurrent accesses.
+//!
+//! `P(another is doing I/O) = 1 − Σ_n P(X=n)(1−E[µ])^n`, evaluated on the
+//! concurrency distribution of the (synthetic) Intrepid trace for several
+//! values of the mean I/O-time fraction `E[µ]`. The paper quotes ≈ 64% for
+//! `E[µ] = 5%`.
+
+use super::FigureOutput;
+use iobench::{FigureData, Series};
+use workloads::{
+    generate, probability_concurrent_io, ConcurrencyDistribution, SyntheticTraceConfig,
+};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> FigureOutput {
+    let cfg = SyntheticTraceConfig {
+        jobs: if quick { 3_000 } else { 20_000 },
+        ..Default::default()
+    };
+    let trace = generate(&cfg);
+    let dist = ConcurrencyDistribution::from_trace(&trace);
+
+    let mut out = FigureOutput::new("Section II-B — probability that another application is doing I/O");
+    let mut fig = FigureData::new(
+        "P(another application is doing I/O) versus E[µ]",
+        "E[µ] (fraction of time in I/O)",
+        "probability",
+    );
+    let mut series = Series::new("P(concurrent I/O)");
+    for mu in [0.01, 0.02, 0.05, 0.10, 0.20] {
+        series.push(mu, probability_concurrent_io(&dist, mu));
+    }
+    fig.add_series(series);
+    out.figures.push(fig);
+
+    let p5 = probability_concurrent_io(&dist, 0.05);
+    out.notes.push(format!(
+        "P(another is doing I/O) at E[µ]=5%: {:.0}% (paper: 64%)",
+        100.0 * p5
+    ));
+    out.notes.push(format!(
+        "mean number of concurrent jobs in the trace: {:.1}",
+        dist.mean()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_is_monotone_in_mu_and_substantial() {
+        let out = run(true);
+        let series = &out.figures[0].series[0];
+        let values: Vec<f64> = series.points.iter().map(|&(_, y)| y).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        // At E[µ]=5% interference must be frequent (paper: 64%).
+        let p5 = series.y_at(0.05).unwrap();
+        assert!(p5 > 0.3, "p5 = {p5}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # calciom-bench — figure reproduction harness
+//!
+//! One module per figure of the paper's evaluation. Each module exposes a
+//! `run(quick: bool)` function that executes the experiment and returns a
+//! [`FigureOutput`]: the same curves/rows the paper plots, plus free-form
+//! notes (headline numbers, decision boundaries). The binaries in
+//! `src/bin/` print these tables; the Criterion benches in `benches/`
+//! measure the cost of representative slices of each experiment.
+//!
+//! `quick = true` runs a reduced parameter sweep (fewer `dt` points, fewer
+//! iterations) so that the whole suite stays fast in CI; `quick = false`
+//! reproduces the figures at full resolution.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::FigureOutput;
+
+/// All figure experiments, in paper order, as `(identifier, runner)` pairs.
+/// Used by the `all_figures` binary and by integration tests.
+pub fn all_experiments() -> Vec<(&'static str, fn(bool) -> FigureOutput)> {
+    vec![
+        ("fig01_workload", figures::fig01::run as fn(bool) -> FigureOutput),
+        ("sec2b_probability", figures::sec2b::run),
+        ("fig02_delta_equal", figures::fig02::run),
+        ("fig03_cache", figures::fig03::run),
+        ("fig04_small_vs_big", figures::fig04::run),
+        ("fig06_split_delta", figures::fig06::run),
+        ("fig07_fcfs", figures::fig07::run),
+        ("fig08_collective", figures::fig08::run),
+        ("fig09_policies", figures::fig09::run),
+        ("fig10_interrupt_granularity", figures::fig10::run),
+        ("fig11_dynamic", figures::fig11::run),
+        ("fig12_delay", figures::fig12::run),
+        ("ablation_gamma", figures::ablation::run_gamma),
+        ("ablation_share_policy", figures::ablation::run_share_policy),
+        ("ablation_coordination_overhead", figures::ablation::run_overhead),
+    ]
+}

@@ -1,0 +1,226 @@
+//! The CALCioM application-facing API.
+//!
+//! Section III-C of the paper defines the calls an application (or the I/O
+//! library / MPI-IO layer acting on its behalf) makes on its *coordinator*
+//! process:
+//!
+//! | Paper call        | [`Coordinator`] method       |
+//! |-------------------|------------------------------|
+//! | `Prepare(info)`   | [`Coordinator::prepare`]     |
+//! | `Inform()`        | [`Coordinator::inform`]      |
+//! | `Check(&auth)`    | [`Coordinator::check`]       |
+//! | `Wait()`          | [`Coordinator::wait`] (semantics: spin on `check` in the simulation, see below) |
+//! | `Release()`       | [`Coordinator::release`]     |
+//! | `Complete()`      | [`Coordinator::complete`]    |
+//!
+//! In the paper the coordinator is rank 0 of the application and the calls
+//! exchange MPI messages with the other applications' coordinators. In this
+//! reproduction the transport is replaced by a shared in-process
+//! [`Arbiter`]; the *information exchanged* and the *decisions taken* are
+//! the same. [`Session`](crate::Session) uses exactly this code path
+//! internally; the standalone `Coordinator` exists so that library users
+//! can embed CALCioM coordination in their own drivers.
+
+use crate::arbiter::Arbiter;
+use crate::info::IoInfo;
+use crate::strategy::{AccessOutcome, YieldOutcome};
+use pfs::AppId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared handle to the coordination state, cloned into every
+/// application's [`Coordinator`].
+pub type SharedArbiter = Rc<RefCell<Arbiter>>;
+
+/// Wraps an [`Arbiter`] for sharing between coordinators.
+pub fn shared(arbiter: Arbiter) -> SharedArbiter {
+    Rc::new(RefCell::new(arbiter))
+}
+
+/// Per-application facade over the CALCioM coordination protocol, exposing
+/// the API of Section III-C of the paper.
+#[derive(Clone)]
+pub struct Coordinator {
+    app: AppId,
+    arbiter: SharedArbiter,
+    prepared: Vec<IoInfo>,
+}
+
+impl Coordinator {
+    /// Creates the coordinator for application `app`, attached to the
+    /// shared coordination state.
+    pub fn new(app: AppId, arbiter: SharedArbiter) -> Self {
+        Coordinator {
+            app,
+            arbiter,
+            prepared: Vec::new(),
+        }
+    }
+
+    /// The application this coordinator speaks for.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// `Prepare(MPI_Info info)`: stacks information about the upcoming I/O
+    /// accesses. A later [`Coordinator::complete`] unstacks it.
+    pub fn prepare(&mut self, info: IoInfo) {
+        self.prepared.push(info);
+    }
+
+    /// `Complete()`: unstacks the most recent prepared information.
+    pub fn complete(&mut self) -> Option<IoInfo> {
+        self.prepared.pop()
+    }
+
+    /// `Inform()`: sends the currently prepared information to the other
+    /// running applications and registers this application's desire to
+    /// access the file system. Returns the immediate outcome.
+    pub fn inform(&mut self) -> AccessOutcome {
+        let mut arb = self.arbiter.borrow_mut();
+        if let Some(info) = self.prepared.last() {
+            arb.update_info(info.clone());
+        }
+        arb.request_access(self.app)
+    }
+
+    /// `Check(int* authorized)`: non-blocking query of whether this
+    /// application is currently allowed to access the file system.
+    pub fn check(&self) -> bool {
+        self.arbiter.borrow().is_granted(self.app)
+    }
+
+    /// `Wait()`: in the paper this blocks until the other applications
+    /// agree that this application should do its I/O. In the discrete-event
+    /// reproduction, blocking is expressed by the caller re-invoking
+    /// [`Coordinator::check`] as simulated time advances; `wait` therefore
+    /// only asserts that a grant is either already available or pending.
+    pub fn wait(&self) -> bool {
+        self.check()
+    }
+
+    /// Coordination point between two atomic accesses (the ADIO-level
+    /// `Release(); Inform(); Check()` sequence): refreshes the shared
+    /// information and asks whether the application should yield.
+    pub fn yield_point(&mut self, refreshed: Option<IoInfo>) -> YieldOutcome {
+        let mut arb = self.arbiter.borrow_mut();
+        if let Some(info) = refreshed {
+            arb.update_info(info);
+        } else if let Some(info) = self.prepared.last() {
+            arb.update_info(info.clone());
+        }
+        arb.yield_point(self.app)
+    }
+
+    /// `Release()` at the end of the I/O phase: gives up the access slot,
+    /// re-evaluates the global strategy and lets the next application in.
+    pub fn release(&mut self) {
+        self.arbiter.borrow_mut().release(self.app);
+    }
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("app", &self.app)
+            .field("prepared", &self.prepared.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EfficiencyMetric;
+    use crate::policy::DynamicPolicy;
+    use crate::strategy::Strategy;
+    use mpiio::Granularity;
+
+    fn info(app: usize, procs: u32, total: f64, remaining: f64) -> IoInfo {
+        IoInfo {
+            app: AppId(app),
+            procs,
+            files_total: 1,
+            rounds_total: 4,
+            bytes_total: total * 1e9,
+            bytes_remaining: remaining * 1e9,
+            est_alone_total_secs: total,
+            est_alone_remaining_secs: remaining,
+            pfs_share: 1.0,
+            granularity: Granularity::Round,
+        }
+    }
+
+    fn pair(strategy: Strategy) -> (Coordinator, Coordinator) {
+        let arb = shared(Arbiter::new(
+            strategy,
+            DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+        ));
+        (
+            Coordinator::new(AppId(0), arb.clone()),
+            Coordinator::new(AppId(1), arb),
+        )
+    }
+
+    #[test]
+    fn prepare_and_complete_stack_info() {
+        let (mut a, _) = pair(Strategy::FcfsSerialize);
+        assert!(a.complete().is_none());
+        a.prepare(info(0, 64, 10.0, 10.0));
+        a.prepare(info(0, 64, 10.0, 5.0));
+        assert_eq!(a.complete().unwrap().est_alone_remaining_secs, 5.0);
+        assert_eq!(a.complete().unwrap().est_alone_remaining_secs, 10.0);
+        assert!(a.complete().is_none());
+    }
+
+    #[test]
+    fn fcfs_protocol_through_the_api() {
+        let (mut a, mut b) = pair(Strategy::FcfsSerialize);
+        a.prepare(info(0, 336, 12.0, 12.0));
+        assert_eq!(a.inform(), AccessOutcome::Granted);
+        assert!(a.check());
+
+        b.prepare(info(1, 336, 12.0, 12.0));
+        assert_eq!(b.inform(), AccessOutcome::MustWait);
+        assert!(!b.check());
+        assert!(!b.wait());
+
+        // A's mid-phase coordination points do not preempt it under FCFS.
+        assert_eq!(a.yield_point(None), YieldOutcome::Continue);
+
+        a.release();
+        assert!(b.check(), "B is granted once A releases");
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn interrupt_protocol_through_the_api() {
+        let (mut a, mut b) = pair(Strategy::Interrupt);
+        a.prepare(info(0, 2048, 28.0, 28.0));
+        a.inform();
+        b.prepare(info(1, 2048, 7.0, 7.0));
+        assert_eq!(b.inform(), AccessOutcome::MustWait);
+
+        // A discovers the interruption request at its next yield point and
+        // refreshes its remaining-work information while doing so.
+        assert_eq!(
+            a.yield_point(Some(info(0, 2048, 28.0, 21.0))),
+            YieldOutcome::YieldNow
+        );
+        assert!(!a.check());
+        assert!(b.check());
+
+        // When B releases, A is granted again and resumes.
+        b.release();
+        assert!(a.check());
+        a.release();
+    }
+
+    #[test]
+    fn coordinator_is_debug_and_reports_app() {
+        let (a, _) = pair(Strategy::Interfere);
+        assert_eq!(a.app(), AppId(0));
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("Coordinator"));
+    }
+}

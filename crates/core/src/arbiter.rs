@@ -1,0 +1,424 @@
+//! The coordination arbiter.
+//!
+//! The paper leaves open whether decisions are taken "by the applications
+//! themselves or enforced by a system-provided entity"; what matters is the
+//! information exchanged and the resulting schedule. The [`Arbiter`] is that
+//! decision point: coordinators forward the `Inform` / `Check` / `Wait` /
+//! `Release` calls of their application to it, and it tracks who currently
+//! holds access to the file system, who is waiting, and who has been
+//! interrupted.
+//!
+//! The arbiter is purely a state machine over application identifiers and
+//! exchanged [`IoInfo`]; it never touches the simulated file system, which
+//! makes it directly reusable outside the simulation (e.g. behind an actual
+//! MPI transport).
+
+use crate::info::IoInfo;
+use crate::policy::{DynDecision, DynamicPolicy};
+use crate::strategy::{AccessOutcome, Strategy, YieldOutcome};
+use pfs::AppId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Why an application is currently not accessing the file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum ParkedAs {
+    /// Waiting for its first grant of the current phase.
+    Waiting,
+    /// Was accessing, yielded after an interruption request.
+    Interrupted,
+}
+
+/// The global coordination state shared by all applications.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    strategy: Strategy,
+    policy: DynamicPolicy,
+    /// Applications currently allowed to access the file system.
+    active: BTreeSet<AppId>,
+    /// Parked applications in arrival order, with the reason they parked.
+    parked: VecDeque<(AppId, ParkedAs)>,
+    /// Active applications that have been asked to yield at their next
+    /// coordination point.
+    interrupt_requested: BTreeSet<AppId>,
+    /// Latest information shared by each application (`Prepare`/`Inform`).
+    info: BTreeMap<AppId, IoInfo>,
+    /// Count of coordination messages exchanged (for accounting/ablations).
+    messages: u64,
+}
+
+impl Arbiter {
+    /// Creates an arbiter applying the given strategy. The dynamic policy
+    /// is only consulted when the strategy is [`Strategy::Dynamic`].
+    pub fn new(strategy: Strategy, policy: DynamicPolicy) -> Self {
+        Arbiter {
+            strategy,
+            policy,
+            active: BTreeSet::new(),
+            parked: VecDeque::new(),
+            interrupt_requested: BTreeSet::new(),
+            info: BTreeMap::new(),
+            messages: 0,
+        }
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Records (or refreshes) the information an application shared about
+    /// its I/O activity. This is the effect of `Prepare` + `Inform`.
+    pub fn update_info(&mut self, info: IoInfo) {
+        self.messages += 1;
+        self.info.insert(info.app, info);
+    }
+
+    /// Latest information shared by an application, if any.
+    pub fn info_for(&self, app: AppId) -> Option<&IoInfo> {
+        self.info.get(&app)
+    }
+
+    /// Applications currently granted access, in id order.
+    pub fn active(&self) -> Vec<AppId> {
+        self.active.iter().copied().collect()
+    }
+
+    /// Applications currently parked (waiting or interrupted), in queue
+    /// order.
+    pub fn parked(&self) -> Vec<AppId> {
+        self.parked.iter().map(|(a, _)| *a).collect()
+    }
+
+    /// Whether the given application currently holds access.
+    pub fn is_granted(&self, app: AppId) -> bool {
+        self.active.contains(&app)
+    }
+
+    /// Number of coordination messages exchanged so far.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// An application asks for access to the file system at the start of an
+    /// I/O phase (`Inform` followed by `Check`). Returns whether it may
+    /// proceed; if not it is queued and [`Arbiter::is_granted`] will become
+    /// true once access is granted.
+    pub fn request_access(&mut self, app: AppId) -> AccessOutcome {
+        self.messages += 1;
+        if self.active.contains(&app) {
+            return AccessOutcome::Granted;
+        }
+        if self.active.is_empty() && self.parked.is_empty() {
+            self.active.insert(app);
+            return AccessOutcome::Granted;
+        }
+        match self.strategy {
+            Strategy::Interfere => {
+                self.active.insert(app);
+                AccessOutcome::Granted
+            }
+            Strategy::FcfsSerialize => {
+                self.park(app, ParkedAs::Waiting);
+                AccessOutcome::MustWait
+            }
+            Strategy::Interrupt => {
+                for a in &self.active {
+                    self.interrupt_requested.insert(*a);
+                }
+                self.park(app, ParkedAs::Waiting);
+                AccessOutcome::MustWait
+            }
+            Strategy::Delay { max_wait_secs } => {
+                self.park(app, ParkedAs::Waiting);
+                AccessOutcome::MustWaitAtMost(max_wait_secs)
+            }
+            Strategy::Dynamic => {
+                let requester = match self.info.get(&app) {
+                    Some(i) => i.clone(),
+                    None => {
+                        // Without information we fall back to FCFS, the
+                        // conservative choice.
+                        self.park(app, ParkedAs::Waiting);
+                        return AccessOutcome::MustWait;
+                    }
+                };
+                let accessors: Vec<IoInfo> = self
+                    .active
+                    .iter()
+                    .filter_map(|a| self.info.get(a).cloned())
+                    .collect();
+                match self.policy.decide(&requester, &accessors) {
+                    DynDecision::Interfere => {
+                        self.active.insert(app);
+                        AccessOutcome::Granted
+                    }
+                    DynDecision::WaitFcfs => {
+                        self.park(app, ParkedAs::Waiting);
+                        AccessOutcome::MustWait
+                    }
+                    DynDecision::InterruptAccessors => {
+                        for a in &self.active {
+                            self.interrupt_requested.insert(*a);
+                        }
+                        self.park(app, ParkedAs::Waiting);
+                        AccessOutcome::MustWait
+                    }
+                }
+            }
+        }
+    }
+
+    /// An active application reached a coordination point between two
+    /// atomic accesses (`Release` + `Inform` + `Check` in the ADIO layer).
+    /// If another application has requested an interruption, the caller is
+    /// parked and must stop issuing I/O until re-granted.
+    pub fn yield_point(&mut self, app: AppId) -> YieldOutcome {
+        self.messages += 1;
+        if !self.active.contains(&app) {
+            // Not an accessor (e.g. running under Interfere without a
+            // grant); nothing to do.
+            return YieldOutcome::Continue;
+        }
+        if self.interrupt_requested.remove(&app) {
+            self.active.remove(&app);
+            self.park(app, ParkedAs::Interrupted);
+            // The whole point of yielding is to let the waiting newcomer in.
+            self.grant_next(ParkedAs::Waiting);
+            YieldOutcome::YieldNow
+        } else {
+            YieldOutcome::Continue
+        }
+    }
+
+    /// The application finished its I/O phase (`Release` at phase end /
+    /// `Complete`). Frees its slot and grants the next parked application.
+    pub fn release(&mut self, app: AppId) {
+        self.messages += 1;
+        self.active.remove(&app);
+        self.interrupt_requested.remove(&app);
+        // Also drop it from the parked queue if it had been re-queued.
+        self.parked.retain(|(a, _)| *a != app);
+        // Interrupted applications resume before later waiters: the paper's
+        // description is that the interrupted application resumes its own
+        // operation once the interrupter finishes its I/O.
+        self.grant_next(ParkedAs::Interrupted);
+    }
+
+    /// Forces a parked application to be granted access even though others
+    /// are active (used by the bounded-delay strategy when the wait budget
+    /// expires).
+    pub fn force_grant(&mut self, app: AppId) {
+        if self.active.contains(&app) {
+            return;
+        }
+        self.parked.retain(|(a, _)| *a != app);
+        self.active.insert(app);
+        self.messages += 1;
+    }
+
+    fn park(&mut self, app: AppId, reason: ParkedAs) {
+        if !self.parked.iter().any(|(a, _)| *a == app) {
+            self.parked.push_back((app, reason));
+        }
+    }
+
+    /// Grants access to the next parked application if nobody is active,
+    /// preferring applications parked for the given reason: a yield hands
+    /// the slot to a *waiting* newcomer, a release hands it back to an
+    /// *interrupted* application (which resumes before later waiters).
+    fn grant_next(&mut self, prefer: ParkedAs) {
+        if !self.active.is_empty() || self.parked.is_empty() {
+            return;
+        }
+        let idx = self
+            .parked
+            .iter()
+            .position(|(_, r)| *r == prefer)
+            .unwrap_or(0);
+        if let Some((app, _)) = self.parked.remove(idx) {
+            self.active.insert(app);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EfficiencyMetric;
+    use mpiio::Granularity;
+
+    fn arbiter(strategy: Strategy) -> Arbiter {
+        Arbiter::new(strategy, DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted))
+    }
+
+    fn info(app: usize, procs: u32, total: f64, remaining: f64) -> IoInfo {
+        IoInfo {
+            app: AppId(app),
+            procs,
+            files_total: 1,
+            rounds_total: 1,
+            bytes_total: total,
+            bytes_remaining: remaining,
+            est_alone_total_secs: total,
+            est_alone_remaining_secs: remaining,
+            pfs_share: 1.0,
+            granularity: Granularity::Round,
+        }
+    }
+
+    #[test]
+    fn first_requester_is_always_granted() {
+        for strategy in [
+            Strategy::Interfere,
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Dynamic,
+        ] {
+            let mut arb = arbiter(strategy);
+            assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);
+            assert!(arb.is_granted(AppId(0)));
+        }
+    }
+
+    #[test]
+    fn interfere_grants_everyone() {
+        let mut arb = arbiter(Strategy::Interfere);
+        assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);
+        assert_eq!(arb.request_access(AppId(1)), AccessOutcome::Granted);
+        assert_eq!(arb.active(), vec![AppId(0), AppId(1)]);
+    }
+
+    #[test]
+    fn fcfs_queues_second_app_until_release() {
+        let mut arb = arbiter(Strategy::FcfsSerialize);
+        arb.request_access(AppId(0));
+        assert_eq!(arb.request_access(AppId(1)), AccessOutcome::MustWait);
+        assert!(!arb.is_granted(AppId(1)));
+        // Yield points do not preempt under FCFS.
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::Continue);
+        arb.release(AppId(0));
+        assert!(arb.is_granted(AppId(1)));
+    }
+
+    #[test]
+    fn interrupt_preempts_at_next_yield_point() {
+        let mut arb = arbiter(Strategy::Interrupt);
+        arb.request_access(AppId(0));
+        assert_eq!(arb.request_access(AppId(1)), AccessOutcome::MustWait);
+        // The accessor keeps running until its next coordination point...
+        assert!(!arb.is_granted(AppId(1)));
+        // ...where it is told to yield and the newcomer is granted.
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::YieldNow);
+        assert!(!arb.is_granted(AppId(0)));
+        assert!(arb.is_granted(AppId(1)));
+        // When the newcomer releases, the interrupted application resumes.
+        arb.release(AppId(1));
+        assert!(arb.is_granted(AppId(0)));
+    }
+
+    #[test]
+    fn interrupted_app_resumes_before_later_waiters() {
+        let mut arb = arbiter(Strategy::Interrupt);
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        arb.yield_point(AppId(0)); // 0 interrupted, 1 active
+        arb.request_access(AppId(2)); // 2 parks, asks to interrupt 1
+        assert_eq!(arb.yield_point(AppId(1)), YieldOutcome::YieldNow);
+        // 2 was the head of the waiting queue but 1 was interrupted... the
+        // next grant goes to the earliest *interrupted* application.
+        assert!(arb.is_granted(AppId(0)) || arb.is_granted(AppId(2)));
+        // Releases eventually drain everyone.
+        let mut done = 0;
+        for _ in 0..10 {
+            let active = arb.active();
+            if let Some(a) = active.first() {
+                arb.release(*a);
+                done += 1;
+            }
+        }
+        assert!(done >= 3);
+        assert!(arb.active().is_empty());
+        assert!(arb.parked().is_empty());
+    }
+
+    #[test]
+    fn delay_strategy_reports_bound_and_force_grant_overlaps() {
+        let mut arb = arbiter(Strategy::Delay { max_wait_secs: 3.0 });
+        arb.request_access(AppId(0));
+        assert_eq!(
+            arb.request_access(AppId(1)),
+            AccessOutcome::MustWaitAtMost(3.0)
+        );
+        arb.force_grant(AppId(1));
+        assert!(arb.is_granted(AppId(1)));
+        assert!(arb.is_granted(AppId(0)), "both overlap after the delay expires");
+        assert!(arb.parked().is_empty());
+    }
+
+    #[test]
+    fn dynamic_interrupts_when_cheaper() {
+        let mut arb = arbiter(Strategy::Dynamic);
+        arb.update_info(info(0, 2048, 28.0, 25.0));
+        arb.update_info(info(1, 2048, 7.0, 7.0));
+        arb.request_access(AppId(0));
+        assert_eq!(arb.request_access(AppId(1)), AccessOutcome::MustWait);
+        // Interrupting A costs 2048×7, FCFS costs 2048×25 → interrupt.
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::YieldNow);
+        assert!(arb.is_granted(AppId(1)));
+    }
+
+    #[test]
+    fn dynamic_waits_when_accessor_is_nearly_done() {
+        let mut arb = arbiter(Strategy::Dynamic);
+        arb.update_info(info(0, 2048, 28.0, 3.0));
+        arb.update_info(info(1, 2048, 7.0, 7.0));
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        // FCFS costs 2048×3, interrupting costs 2048×7 → no interruption.
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::Continue);
+        assert!(!arb.is_granted(AppId(1)));
+        arb.release(AppId(0));
+        assert!(arb.is_granted(AppId(1)));
+    }
+
+    #[test]
+    fn dynamic_without_info_falls_back_to_fcfs() {
+        let mut arb = arbiter(Strategy::Dynamic);
+        arb.request_access(AppId(0));
+        assert_eq!(arb.request_access(AppId(1)), AccessOutcome::MustWait);
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::Continue);
+    }
+
+    #[test]
+    fn release_is_idempotent_and_clears_state() {
+        let mut arb = arbiter(Strategy::FcfsSerialize);
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        arb.release(AppId(0));
+        arb.release(AppId(0));
+        assert!(arb.is_granted(AppId(1)));
+        arb.release(AppId(1));
+        assert!(arb.active().is_empty());
+        assert!(arb.parked().is_empty());
+    }
+
+    #[test]
+    fn message_count_increases_with_coordination() {
+        let mut arb = arbiter(Strategy::FcfsSerialize);
+        let before = arb.message_count();
+        arb.update_info(info(0, 8, 1.0, 1.0));
+        arb.request_access(AppId(0));
+        arb.yield_point(AppId(0));
+        arb.release(AppId(0));
+        assert!(arb.message_count() >= before + 4);
+    }
+
+    #[test]
+    fn double_request_from_same_app_stays_granted() {
+        let mut arb = arbiter(Strategy::FcfsSerialize);
+        assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);
+        assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);
+        assert_eq!(arb.active(), vec![AppId(0)]);
+    }
+}

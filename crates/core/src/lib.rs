@@ -1,0 +1,85 @@
+//! # calciom — Cross-Application Layer for Coordinated I/O Management
+//!
+//! A reproduction of the framework described in *"CALCioM: Mitigating I/O
+//! Interference in HPC Systems through Cross-Application Coordination"*
+//! (Dorier, Antoniu, Ross, Kimpe, Ibrahim — IPDPS 2014).
+//!
+//! Concurrent HPC applications that write to a shared parallel file system
+//! interfere with each other: storage servers interleave their request
+//! streams, breaking each application's individually optimized access
+//! pattern and hurting machine-wide efficiency. CALCioM lets the running
+//! applications *talk to each other*: each one shares a small amount of
+//! information about its ongoing and upcoming I/O ([`IoInfo`], the paper's
+//! `MPI_Info` payload) and, based on that shared knowledge and a
+//! machine-wide efficiency metric ([`EfficiencyMetric`]), the framework
+//! picks one of four strategies ([`Strategy`]):
+//!
+//! * **Interfere** — let the accesses proceed concurrently,
+//! * **FCFS serialize** — the later application waits,
+//! * **Interrupt** — the earlier application yields at its next
+//!   coordination point and resumes afterwards,
+//! * **Dynamic** — pick whichever of the above minimizes the metric, using
+//!   the exchanged information ([`DynamicPolicy`]).
+//!
+//! The crate couples three layers (all part of this reproduction):
+//! the [`pfs`] parallel-file-system simulator, the [`mpiio`] MPI-IO model
+//! (access patterns, collective buffering, ADIO hook points), and this
+//! coordination layer. The [`Session`] type runs a complete scenario and
+//! produces per-application, per-phase timings.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use calciom::{Session, SessionConfig, Strategy};
+//! use mpiio::{AccessPattern, AppConfig};
+//! use pfs::{AppId, PfsConfig};
+//!
+//! // Two 336-process applications, each writing 16 MB per process;
+//! // B starts 2 seconds after A.
+//! let a = AppConfig::new(AppId(0), "App A", 336, AccessPattern::contiguous(16.0e6));
+//! let b = AppConfig::new(AppId(1), "App B", 336, AccessPattern::contiguous(16.0e6))
+//!     .starting_at_secs(2.0);
+//!
+//! // Without coordination they interfere...
+//! let interfering = Session::run(SessionConfig::new(
+//!     PfsConfig::grid5000_rennes(),
+//!     vec![a.clone(), b.clone()],
+//! ))
+//! .unwrap();
+//!
+//! // ...with CALCioM the second one is serialized after the first.
+//! let coordinated = Session::run(
+//!     SessionConfig::new(PfsConfig::grid5000_rennes(), vec![a, b])
+//!         .with_strategy(Strategy::FcfsSerialize),
+//! )
+//! .unwrap();
+//!
+//! let t_first = |r: &calciom::SessionReport| r.apps[0].first_phase().io_time();
+//! // The first application is protected by serialization.
+//! assert!(t_first(&coordinated) < t_first(&interfering));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod arbiter;
+pub mod info;
+pub mod metrics;
+pub mod policy;
+pub mod session;
+pub mod strategy;
+
+pub use api::Coordinator;
+pub use arbiter::Arbiter;
+pub use info::IoInfo;
+pub use metrics::{
+    cpu_seconds_wasted_per_core, evaluate, interference_factor, AppObservation, EfficiencyMetric,
+};
+pub use policy::{DynDecision, DynamicPolicy};
+pub use session::{AppReport, PhaseResult, Session, SessionConfig, SessionReport};
+pub use strategy::{AccessOutcome, Strategy, YieldOutcome};
+
+// Re-export the identifiers users need from the substrate crates so that
+// simple programs only have to depend on `calciom`.
+pub use mpiio::{AccessPattern, AppConfig, CollectiveConfig, Granularity};
+pub use pfs::{AppId, CacheConfig, PfsConfig, SharePolicy};

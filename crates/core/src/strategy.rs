@@ -1,0 +1,108 @@
+//! Scheduling strategies.
+//!
+//! Section III-A of the paper describes four ways of dealing with an
+//! arriving I/O phase while another application is accessing the file
+//! system: let them interfere, serialize on a first-come-first-served
+//! basis, interrupt the application currently accessing, or pick among
+//! these dynamically against a machine-wide efficiency metric. Fig. 12
+//! additionally shows that *delaying* one of the accesses by a bounded
+//! amount can beat both FCFS and plain interference when the observed
+//! interference is low.
+
+use serde::{Deserialize, Serialize};
+
+/// The I/O scheduling strategy applied by CALCioM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// No coordination: applications access the file system concurrently
+    /// (the baseline the paper calls "interfering").
+    Interfere,
+    /// First-come-first-served serialization: an application arriving while
+    /// another is accessing waits until that access completes.
+    FcfsSerialize,
+    /// Interruption-based serialization: the application currently
+    /// accessing yields at its next coordination point for the benefit of
+    /// the newcomer, and resumes once the newcomer has finished.
+    Interrupt,
+    /// Bounded delay: the newcomer waits for the current access to finish,
+    /// but at most for the given number of seconds, after which it proceeds
+    /// and overlaps (Fig. 12's trade-off).
+    Delay {
+        /// Maximum number of seconds the newcomer is willing to wait.
+        max_wait_secs: f64,
+    },
+    /// Dynamic selection among the strategies above, driven by the
+    /// configured machine-wide efficiency metric and the information the
+    /// applications exchanged (the CALCioM contribution, Fig. 11).
+    Dynamic,
+}
+
+impl Strategy {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Interfere => "interfering",
+            Strategy::FcfsSerialize => "fcfs",
+            Strategy::Interrupt => "interrupt",
+            Strategy::Delay { .. } => "delay",
+            Strategy::Dynamic => "calciom-dynamic",
+        }
+    }
+
+    /// Whether this strategy requires cross-application coordination (i.e.
+    /// is only available through CALCioM).
+    pub fn needs_coordination(&self) -> bool {
+        !matches!(self, Strategy::Interfere)
+    }
+}
+
+/// What the arbiter tells an application that asked for access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The application may proceed with its I/O immediately.
+    Granted,
+    /// The application must wait; it will be granted access later (when the
+    /// current accessor releases or yields).
+    MustWait,
+    /// The application must wait, but no longer than the given number of
+    /// seconds (Delay strategy).
+    MustWaitAtMost(f64),
+}
+
+/// What the arbiter tells the current accessor at one of its yield points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum YieldOutcome {
+    /// Keep going: nobody needs the file system more urgently.
+    Continue,
+    /// Pause here: another application has been granted priority; the
+    /// accessor will be resumed when it is granted access again.
+    YieldNow,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let strategies = [
+            Strategy::Interfere,
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Delay { max_wait_secs: 3.0 },
+            Strategy::Dynamic,
+        ];
+        let labels: std::collections::BTreeSet<&str> =
+            strategies.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), strategies.len());
+    }
+
+    #[test]
+    fn coordination_requirement() {
+        assert!(!Strategy::Interfere.needs_coordination());
+        assert!(Strategy::FcfsSerialize.needs_coordination());
+        assert!(Strategy::Interrupt.needs_coordination());
+        assert!(Strategy::Dynamic.needs_coordination());
+        assert!(Strategy::Delay { max_wait_secs: 1.0 }.needs_coordination());
+    }
+}

@@ -1,0 +1,183 @@
+//! Side-by-side comparison of scheduling strategies on one scenario.
+//!
+//! Figures 9–11 of the paper plot the same workload under several
+//! strategies (interfering, FCFS, interruption, CALCioM's dynamic choice).
+//! This module runs one scenario once per strategy, measures the
+//! stand-alone baselines, and exposes the per-application interference
+//! factors and machine-wide metrics for each strategy.
+
+use calciom::{
+    AppObservation, DynamicPolicy, EfficiencyMetric, Granularity, Session, SessionConfig,
+    SessionReport, Strategy,
+};
+use mpiio::AppConfig;
+use pfs::{AppId, PfsConfig};
+use std::collections::BTreeMap;
+
+/// Result of running one scenario under one strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyRun {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// The full session report.
+    pub report: SessionReport,
+}
+
+impl StrategyRun {
+    /// Observed first-phase I/O time of the given application.
+    pub fn io_time(&self, app: AppId) -> Option<f64> {
+        self.report.app(app).map(|a| a.first_phase().io_time())
+    }
+}
+
+/// A full comparison: stand-alone baselines plus one run per strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyComparison {
+    /// Stand-alone I/O time per application.
+    pub alone: BTreeMap<AppId, f64>,
+    /// One run per strategy, in the order requested.
+    pub runs: Vec<StrategyRun>,
+}
+
+impl StrategyComparison {
+    /// The run for a given strategy label.
+    pub fn run(&self, strategy: Strategy) -> Option<&StrategyRun> {
+        self.runs
+            .iter()
+            .find(|r| r.strategy.label() == strategy.label())
+    }
+
+    /// Interference factor of `app` under `strategy`.
+    pub fn factor(&self, strategy: Strategy, app: AppId) -> Option<f64> {
+        let run = self.run(strategy)?;
+        let io = run.io_time(app)?;
+        let alone = self.alone.get(&app)?;
+        Some(calciom::interference_factor(io, *alone))
+    }
+
+    /// Machine-wide metric value under `strategy`.
+    pub fn metric(&self, strategy: Strategy, metric: EfficiencyMetric) -> Option<f64> {
+        let run = self.run(strategy)?;
+        Some(run.report.metric(metric, &self.alone))
+    }
+
+    /// Observations (procs, observed, alone) for `strategy`, e.g. to feed
+    /// [`calciom::cpu_seconds_wasted_per_core`].
+    pub fn observations(&self, strategy: Strategy) -> Option<Vec<AppObservation>> {
+        let run = self.run(strategy)?;
+        Some(run.report.observations(&self.alone))
+    }
+}
+
+/// Measures each application's stand-alone I/O time on the given file
+/// system.
+pub fn alone_times(pfs: &PfsConfig, apps: &[AppConfig]) -> Result<BTreeMap<AppId, f64>, String> {
+    let mut alone = BTreeMap::new();
+    for app in apps {
+        alone.insert(app.id, Session::run_alone(app.clone(), pfs.clone())?);
+    }
+    Ok(alone)
+}
+
+/// Runs the scenario once per strategy and collects the comparison.
+pub fn compare_strategies(
+    pfs: &PfsConfig,
+    apps: &[AppConfig],
+    strategies: &[Strategy],
+    granularity: Granularity,
+    policy: DynamicPolicy,
+) -> Result<StrategyComparison, String> {
+    let alone = alone_times(pfs, apps)?;
+    let mut runs = Vec::with_capacity(strategies.len());
+    for &strategy in strategies {
+        let cfg = SessionConfig::new(pfs.clone(), apps.to_vec())
+            .with_strategy(strategy)
+            .with_granularity(granularity)
+            .with_policy(policy);
+        runs.push(StrategyRun {
+            strategy,
+            report: Session::run(cfg)?,
+        });
+    }
+    Ok(StrategyComparison { alone, runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpiio::AccessPattern;
+
+    const MB: f64 = 1.0e6;
+
+    fn scenario() -> (PfsConfig, Vec<AppConfig>) {
+        // A big application with a long strided I/O phase (many
+        // collective-buffering rounds → many interruption points) and a
+        // small one with very different I/O requirements arriving 2 s later
+        // (the Fig. 9(a)/(b) situation).
+        let pfs = PfsConfig::grid5000_rennes();
+        let a = AppConfig::new(AppId(0), "A", 720, AccessPattern::strided(2.0 * MB, 8));
+        let b = AppConfig::new(AppId(1), "B", 48, AccessPattern::contiguous(8.0 * MB))
+            .starting_at_secs(2.0);
+        (pfs, vec![a, b])
+    }
+
+    #[test]
+    fn comparison_covers_all_strategies_and_baselines() {
+        let (pfs, apps) = scenario();
+        let strategies = [
+            Strategy::Interfere,
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Dynamic,
+        ];
+        let cmp = compare_strategies(
+            &pfs,
+            &apps,
+            &strategies,
+            Granularity::Round,
+            DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+        )
+        .unwrap();
+        assert_eq!(cmp.runs.len(), 4);
+        assert_eq!(cmp.alone.len(), 2);
+        for s in strategies {
+            assert!(cmp.run(s).is_some());
+            assert!(cmp.factor(s, AppId(0)).unwrap() >= 1.0);
+            assert!(cmp.metric(s, EfficiencyMetric::TotalIoTime).unwrap() > 0.0);
+            assert_eq!(cmp.observations(s).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn small_app_suffers_most_under_fcfs_and_least_under_interrupt() {
+        // Fig. 9(b): when a small application arrives after a big one, FCFS
+        // is the worst option for it and interruption the best.
+        let (pfs, apps) = scenario();
+        let cmp = compare_strategies(
+            &pfs,
+            &apps,
+            &[Strategy::Interfere, Strategy::FcfsSerialize, Strategy::Interrupt],
+            Granularity::Round,
+            DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+        )
+        .unwrap();
+        let b = AppId(1);
+        let fcfs = cmp.factor(Strategy::FcfsSerialize, b).unwrap();
+        let interrupt = cmp.factor(Strategy::Interrupt, b).unwrap();
+        let interfere = cmp.factor(Strategy::Interfere, b).unwrap();
+        assert!(
+            interrupt < interfere && interfere < fcfs,
+            "interrupt={interrupt} interfere={interfere} fcfs={fcfs}"
+        );
+    }
+
+    #[test]
+    fn alone_times_are_positive_and_size_dependent() {
+        let (pfs, apps) = scenario();
+        let alone = alone_times(&pfs, &apps).unwrap();
+        // The small application writes less data but is client-limited: its
+        // stand-alone time is longer per byte; both must be positive.
+        assert!(alone[&AppId(0)] > 0.0);
+        assert!(alone[&AppId(1)] > 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Small parallel-map helper for experiment sweeps.
+//!
+//! A Δ-graph is a sweep of dozens of independent simulations (one per `dt`
+//! value per strategy); running them on all available cores keeps the full
+//! figure-reproduction suite fast. The helper preserves input order and
+//! propagates panics.
+
+use crossbeam::thread;
+
+/// Applies `f` to every item of `items`, distributing the work over up to
+/// `max_threads` worker threads (or the number of available cores if 0),
+/// and returns the results in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = if max_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        max_threads
+    }
+    .min(n)
+    .max(1);
+
+    if workers == 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+
+    thread::scope(|scope| {
+        let mut remaining_items: &[T] = &items;
+        let mut remaining_results: &mut [Option<R>] = &mut results;
+        let f = &f;
+        while !remaining_items.is_empty() {
+            let take = chunk.min(remaining_items.len());
+            let (item_chunk, rest_items) = remaining_items.split_at(take);
+            let (result_chunk, rest_results) = remaining_results.split_at_mut(take);
+            remaining_items = rest_items;
+            remaining_results = rest_results;
+            scope.spawn(move |_| {
+                for (slot, item) in result_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("experiment worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let input: Vec<u64> = (0..257).collect();
+        let out = parallel_map(input.clone(), 0, |x| x * 2);
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_with_one_thread_and_empty_input() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| *x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(vec![10, 20], 16, |x| x / 10);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_propagate() {
+        parallel_map(vec![1, 2, 3], 2, |x| {
+            if *x == 2 {
+                panic!("boom");
+            }
+            *x
+        });
+    }
+}

@@ -1,0 +1,48 @@
+//! # mpiio — simulated MPI-IO layer
+//!
+//! This crate models the parts of the MPI-IO stack that matter for
+//! cross-application interference, as used by the CALCioM paper:
+//!
+//! * [`pattern`] — per-process access patterns (contiguous / strided), the
+//!   knobs of the paper's IOR-derived benchmark.
+//! * [`collective`] — the collective-buffering (two-phase I/O) algorithm:
+//!   how a strided collective write is decomposed into rounds of data
+//!   shuffling plus aggregated writes.
+//! * [`plan`] — the expanded sequence of steps ([`IoPlan`]) one I/O phase
+//!   executes, and its *yield points*.
+//! * [`adio`] — the hook points where CALCioM coordination calls are
+//!   placed and the interruption [`Granularity`] they provide.
+//! * [`app`] — the [`AppConfig`] description of one application (size,
+//!   pattern, files, start date, periodicity).
+//!
+//! The crate deliberately contains no scheduling policy: it only describes
+//! *what* an application would do. The `calciom` crate decides *when* each
+//! step is allowed to run.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpiio::{AccessPattern, AppConfig, Granularity};
+//! use pfs::AppId;
+//!
+//! // Fig. 10's application A: 2048 processes, 4 files of 4 MB per process.
+//! let app = AppConfig::new(AppId(0), "App A", 2048, AccessPattern::contiguous(4.0e6))
+//!     .with_files(4);
+//! let plan = app.plan();
+//! assert_eq!(plan.len(), 4); // one atomic write per file
+//! assert_eq!(plan.yield_points(Granularity::File).len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adio;
+pub mod app;
+pub mod collective;
+pub mod pattern;
+pub mod plan;
+
+pub use adio::{Granularity, HookPoint};
+pub use app::AppConfig;
+pub use collective::CollectiveConfig;
+pub use pattern::AccessPattern;
+pub use plan::{IoPlan, IoStep, StepKind};

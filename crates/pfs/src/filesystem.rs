@@ -1,0 +1,672 @@
+//! The parallel file system front-end.
+//!
+//! [`Pfs`] owns the fluid network, the storage servers and the set of
+//! in-flight transfers. Client layers (the `mpiio` crate, or a raw
+//! benchmark) submit *atomic writes* — the unit the paper calls an
+//! "independent contiguous write" issued by the ADIO layer — and drive the
+//! simulation clock through [`Pfs::advance_to`]. All interference effects
+//! (request-stream-proportional sharing, locality breakage, cache
+//! thrashing) happen inside this type.
+
+use crate::config::PfsConfig;
+use crate::server::ServerState;
+use crate::{AppId, WriteBackCache};
+use serde::{Deserialize, Serialize};
+use simcore::fluid::{ConstraintId, FlowId, FlowSpec, FluidNetwork};
+use simcore::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Handle to a submitted transfer (one atomic write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TransferId(pub u64);
+
+/// Progress snapshot for a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferProgress {
+    /// Bytes written so far.
+    pub transferred: f64,
+    /// Bytes still to write.
+    pub remaining: f64,
+    /// Current aggregate rate across all servers (bytes/s).
+    pub rate: f64,
+    /// Submission time.
+    pub started: SimTime,
+    /// Completion time, if finished.
+    pub completed: Option<SimTime>,
+    /// Whether the transfer is currently paused.
+    pub paused: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FlowSlot {
+    flow: FlowId,
+    done: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Transfer {
+    app: AppId,
+    procs: u32,
+    bytes: f64,
+    per_server_bytes: f64,
+    flows: Vec<FlowSlot>,
+    started: SimTime,
+    completed: Option<SimTime>,
+    paused: bool,
+    reported: bool,
+    done_bytes: f64,
+}
+
+/// The simulated parallel file system.
+#[derive(Debug, Clone)]
+pub struct Pfs {
+    cfg: PfsConfig,
+    net: FluidNetwork,
+    servers: Vec<ServerState>,
+    #[allow(dead_code)]
+    interconnect: ConstraintId,
+    transfers: BTreeMap<TransferId, Transfer>,
+    next_id: u64,
+    now: SimTime,
+    bytes_completed: BTreeMap<AppId, f64>,
+}
+
+impl Pfs {
+    /// Builds a file system from a validated configuration.
+    pub fn new(cfg: PfsConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let mut net = FluidNetwork::new();
+        let interconnect = net.add_constraint(cfg.interconnect_bw);
+        let mut servers = Vec::with_capacity(cfg.num_servers);
+        for _ in 0..cfg.num_servers {
+            let cache = cfg.cache.map(WriteBackCache::new);
+            // Initial capacity: single-application, cache empty.
+            let constraint = net.add_constraint(match &cfg.cache {
+                Some(c) => c.absorb_bw,
+                None => cfg.server_bw,
+            });
+            servers.push(ServerState::new(constraint, cache));
+        }
+        Ok(Pfs {
+            cfg,
+            net,
+            servers,
+            interconnect,
+            transfers: BTreeMap::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+            bytes_completed: BTreeMap::new(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PfsConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of storage servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Submits an atomic collective write of `bytes` bytes issued by
+    /// application `app` from `procs` processes. The data is striped over
+    /// all servers. Returns a handle used to track or pause the transfer.
+    pub fn submit_write(&mut self, app: AppId, bytes: f64, procs: u32) -> TransferId {
+        assert!(bytes >= 0.0, "write size must be non-negative");
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+
+        let n = self.servers.len() as f64;
+        let per_server_bytes = bytes / n;
+        let client_cap_per_server = (procs.max(1) as f64 * self.cfg.process_link_bw / n).max(1.0);
+        let weight = ServerState::share_weight(self.cfg.share_policy, procs);
+
+        let mut flows = Vec::with_capacity(self.servers.len());
+        for server in &mut self.servers {
+            let flow = self.net.add_flow(FlowSpec::new(
+                per_server_bytes,
+                weight,
+                client_cap_per_server,
+                vec![server.constraint, self.interconnect],
+            ));
+            server.add_stream(app);
+            flows.push(FlowSlot { flow, done: false });
+        }
+
+        self.transfers.insert(
+            id,
+            Transfer {
+                app,
+                procs,
+                bytes,
+                per_server_bytes,
+                flows,
+                started: self.now,
+                completed: None,
+                paused: false,
+                reported: false,
+                done_bytes: 0.0,
+            },
+        );
+        self.refresh_capacities();
+        // A zero-byte write completes immediately.
+        self.collect_completions();
+        id
+    }
+
+    /// Pauses an in-flight transfer (its flows stop consuming bandwidth and
+    /// it no longer counts as an active application on the servers). Used
+    /// by CALCioM's interruption strategy.
+    pub fn pause(&mut self, id: TransferId) {
+        let Some(tr) = self.transfers.get_mut(&id) else {
+            return;
+        };
+        if tr.paused || tr.completed.is_some() {
+            return;
+        }
+        tr.paused = true;
+        for (idx, slot) in tr.flows.iter().enumerate() {
+            if !slot.done {
+                self.net.pause_flow(slot.flow);
+                self.servers[idx].remove_stream(tr.app);
+            }
+        }
+        self.refresh_capacities();
+    }
+
+    /// Resumes a paused transfer.
+    pub fn resume(&mut self, id: TransferId) {
+        let Some(tr) = self.transfers.get_mut(&id) else {
+            return;
+        };
+        if !tr.paused || tr.completed.is_some() {
+            return;
+        }
+        tr.paused = false;
+        for (idx, slot) in tr.flows.iter().enumerate() {
+            if !slot.done {
+                self.net.resume_flow(slot.flow);
+                self.servers[idx].add_stream(tr.app);
+            }
+        }
+        self.refresh_capacities();
+    }
+
+    /// Cancels a transfer, discarding any unfinished bytes.
+    pub fn cancel(&mut self, id: TransferId) {
+        let Some(tr) = self.transfers.remove(&id) else {
+            return;
+        };
+        for (idx, slot) in tr.flows.iter().enumerate() {
+            if !slot.done {
+                self.net.remove_flow(slot.flow);
+                if !tr.paused {
+                    self.servers[idx].remove_stream(tr.app);
+                }
+            }
+        }
+        self.refresh_capacities();
+    }
+
+    /// Number of processes backing a transfer (as declared at submission).
+    pub fn transfer_procs(&self, id: TransferId) -> Option<u32> {
+        self.transfers.get(&id).map(|t| t.procs)
+    }
+
+    /// True once every byte of the transfer has been written.
+    pub fn is_complete(&self, id: TransferId) -> bool {
+        self.transfers
+            .get(&id)
+            .map(|t| t.completed.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Whether the given application currently has an unpaused, incomplete
+    /// transfer in flight.
+    pub fn app_is_active(&self, app: AppId) -> bool {
+        self.transfers
+            .values()
+            .any(|t| t.app == app && t.completed.is_none() && !t.paused)
+    }
+
+    /// Progress snapshot for a transfer.
+    pub fn progress(&mut self, id: TransferId) -> Option<TransferProgress> {
+        let tr = self.transfers.get(&id)?;
+        let mut transferred = tr.done_bytes;
+        let mut rate = 0.0;
+        for slot in &tr.flows {
+            if !slot.done {
+                if let Some(p) = self.net.progress(slot.flow) {
+                    transferred += p.transferred;
+                    rate += p.rate;
+                }
+            }
+        }
+        let tr = self.transfers.get(&id)?;
+        Some(TransferProgress {
+            transferred,
+            remaining: (tr.bytes - transferred).max(0.0),
+            rate,
+            started: tr.started,
+            completed: tr.completed,
+            paused: tr.paused,
+        })
+    }
+
+    /// Aggregate write rate across all applications (bytes/s).
+    pub fn aggregate_rate(&mut self) -> f64 {
+        self.net.aggregate_rate()
+    }
+
+    /// Current write rate of one application (bytes/s).
+    pub fn app_rate(&mut self, app: AppId) -> f64 {
+        let flows: Vec<FlowId> = self
+            .transfers
+            .values()
+            .filter(|t| t.app == app)
+            .flat_map(|t| t.flows.iter().filter(|s| !s.done).map(|s| s.flow))
+            .collect();
+        flows.into_iter().map(|f| self.net.rate(f)).sum()
+    }
+
+    /// Total bytes written by an application across completed transfers.
+    pub fn bytes_completed(&self, app: AppId) -> f64 {
+        self.bytes_completed.get(&app).copied().unwrap_or(0.0)
+    }
+
+    /// Applications with at least one active stream on at least one server.
+    pub fn active_apps(&self) -> Vec<AppId> {
+        let mut apps: Vec<AppId> = self
+            .servers
+            .iter()
+            .flat_map(|s| s.active_apps())
+            .collect();
+        apps.sort_unstable();
+        apps.dedup();
+        apps
+    }
+
+    /// Next instant at which something internal changes (a flow completes
+    /// or a cache crosses a threshold), or `None` if nothing is in flight.
+    /// The returned time is always strictly after [`Pfs::now`] so that a
+    /// driver looping on it always makes progress.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        if let Some(ttc) = self.net.time_to_next_completion() {
+            best = Some(self.now + ttc);
+        }
+        let ingest = self.per_server_ingest();
+        for (idx, server) in self.servers.iter().enumerate() {
+            if let Some(cache) = &server.cache {
+                if let Some(t) = cache.time_to_transition(ingest[idx]) {
+                    let at = self.now + SimDuration::from_secs(t);
+                    best = Some(match best {
+                        Some(b) => b.min(at),
+                        None => at,
+                    });
+                }
+            }
+        }
+        // Guard against sub-microsecond remainders rounding to "now": the
+        // caller would otherwise spin without advancing the clock.
+        best.map(|t| t.max(self.now + SimDuration::from_ticks(1)))
+    }
+
+    /// Advances the simulation to `target`, handling flow completions and
+    /// cache transitions internally (subdividing the interval so that rates
+    /// are piecewise constant).
+    pub fn advance_to(&mut self, target: SimTime) {
+        let mut guard = 0u64;
+        while self.now < target {
+            guard += 1;
+            assert!(
+                guard < 10_000_000,
+                "Pfs::advance_to failed to converge (simulation bug)"
+            );
+
+            let ingest = self.per_server_ingest();
+
+            // Next internal change point.
+            let mut step_end = target;
+            if let Some(ttc) = self.net.time_to_next_completion() {
+                step_end = step_end.min(self.now + ttc);
+            }
+            for (idx, server) in self.servers.iter().enumerate() {
+                if let Some(cache) = &server.cache {
+                    if let Some(t) = cache.time_to_transition(ingest[idx]) {
+                        step_end = step_end.min(self.now + SimDuration::from_secs(t));
+                    }
+                }
+            }
+            // Guarantee forward progress despite microsecond rounding.
+            if step_end <= self.now {
+                step_end = self.now + SimDuration::from_ticks(1);
+            }
+            let step_end = step_end.min(target.max(self.now + SimDuration::from_ticks(1)));
+            let dt = step_end.saturating_since(self.now);
+
+            self.net.advance(dt);
+            for (idx, server) in self.servers.iter_mut().enumerate() {
+                if let Some(cache) = &mut server.cache {
+                    cache.advance(dt.as_secs(), ingest[idx]);
+                }
+            }
+            self.now = step_end;
+            self.collect_completions();
+            self.refresh_capacities();
+        }
+    }
+
+    /// Transfers that completed since the last call, in completion order.
+    pub fn poll_completed(&mut self) -> Vec<TransferId> {
+        let mut done: Vec<(SimTime, TransferId)> = Vec::new();
+        for (id, tr) in self.transfers.iter_mut() {
+            if let Some(t) = tr.completed {
+                if !tr.reported {
+                    tr.reported = true;
+                    done.push((t, *id));
+                }
+            }
+        }
+        done.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        done.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Resets all cache state (between independent experiment repetitions).
+    pub fn reset_caches(&mut self) {
+        for server in &mut self.servers {
+            if let Some(cache) = &mut server.cache {
+                cache.reset();
+            }
+        }
+        self.refresh_capacities();
+    }
+
+    fn per_server_ingest(&mut self) -> Vec<f64> {
+        let mut ingest = vec![0.0; self.servers.len()];
+        let flows: Vec<(usize, FlowId)> = self
+            .transfers
+            .values()
+            .flat_map(|t| {
+                t.flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.done)
+                    .map(|(idx, s)| (idx, s.flow))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (idx, flow) in flows {
+            ingest[idx] += self.net.rate(flow);
+        }
+        ingest
+    }
+
+    fn collect_completions(&mut self) {
+        let now = self.now;
+        let mut capacity_dirty = false;
+        for tr in self.transfers.values_mut() {
+            if tr.completed.is_some() {
+                continue;
+            }
+            let mut all_done = true;
+            for (idx, slot) in tr.flows.iter_mut().enumerate() {
+                if slot.done {
+                    continue;
+                }
+                if self.net.is_complete(slot.flow) {
+                    slot.done = true;
+                    tr.done_bytes += tr.per_server_bytes;
+                    self.net.remove_flow(slot.flow);
+                    if !tr.paused {
+                        self.servers[idx].remove_stream(tr.app);
+                    }
+                    capacity_dirty = true;
+                } else {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                tr.completed = Some(now);
+                tr.done_bytes = tr.bytes;
+                *self.bytes_completed.entry(tr.app).or_insert(0.0) += tr.bytes;
+            }
+        }
+        if capacity_dirty {
+            self.refresh_capacities();
+        }
+    }
+
+    fn refresh_capacities(&mut self) {
+        for server in &self.servers {
+            self.net
+                .set_capacity(server.constraint, server.effective_bandwidth(&self.cfg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, SharePolicy};
+
+    fn simple_cfg() -> PfsConfig {
+        PfsConfig {
+            num_servers: 4,
+            server_bw: 100.0e6, // 100 MB/s per server → 400 MB/s aggregate
+            cache: None,
+            interference_gamma: 1.0,
+            process_link_bw: 10.0e6,
+            interconnect_bw: f64::INFINITY,
+            share_policy: SharePolicy::ProportionalToProcesses,
+        }
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_write_takes_bytes_over_bandwidth() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        // 400 MB from 128 procs: client cap = 1.28 GB/s, server cap = 400 MB/s
+        // → bottleneck 400 MB/s → 1 second.
+        let tr = pfs.submit_write(AppId(0), 400.0e6, 128);
+        pfs.advance_to(t(0.5));
+        assert!(!pfs.is_complete(tr));
+        let p = pfs.progress(tr).unwrap();
+        assert!((p.transferred - 200.0e6).abs() < 1.0e6);
+        pfs.advance_to(t(1.01));
+        assert!(pfs.is_complete(tr));
+        let p = pfs.progress(tr).unwrap();
+        assert!(p.completed.unwrap() <= t(1.01));
+        assert!(p.completed.unwrap() >= t(0.99));
+        assert_eq!(pfs.poll_completed(), vec![tr]);
+        assert!(pfs.poll_completed().is_empty(), "reported only once");
+    }
+
+    #[test]
+    fn small_app_is_limited_by_its_client_links() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        // 8 procs × 10 MB/s = 80 MB/s client-side cap, well below the
+        // 400 MB/s the file system could deliver.
+        let tr = pfs.submit_write(AppId(0), 80.0e6, 8);
+        pfs.advance_to(t(1.05));
+        assert!(pfs.is_complete(tr));
+        let p = pfs.progress(tr).unwrap();
+        let dur = p.completed.unwrap().saturating_since(p.started).as_secs();
+        assert!((dur - 1.0).abs() < 0.05, "duration was {dur}");
+    }
+
+    #[test]
+    fn two_equal_apps_share_and_both_slow_down() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        let a = pfs.submit_write(AppId(0), 400.0e6, 128);
+        let b = pfs.submit_write(AppId(1), 400.0e6, 128);
+        pfs.advance_to(t(2.1));
+        assert!(pfs.is_complete(a) && pfs.is_complete(b));
+        let ta = pfs.progress(a).unwrap().completed.unwrap().as_secs();
+        let tb = pfs.progress(b).unwrap().completed.unwrap().as_secs();
+        // Each would take 1 s alone; sharing makes both take ~2 s.
+        assert!((ta - 2.0).abs() < 0.05, "ta = {ta}");
+        assert!((tb - 2.0).abs() < 0.05, "tb = {tb}");
+    }
+
+    #[test]
+    fn big_app_crowds_out_small_app() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        // Big app: 360 procs; small app: 40 procs. Server bandwidth is
+        // shared 9:1, so the small app's 40 MB write that would take 0.1 s
+        // alone (client-limited at 400MB/s? no: 40procs*10MB/s=400MB/s,
+        // server 400MB/s → 0.1 s) now gets only ~40 MB/s.
+        let big = pfs.submit_write(AppId(0), 3600.0e6, 360);
+        let small = pfs.submit_write(AppId(1), 40.0e6, 40);
+        pfs.advance_to(t(30.0));
+        assert!(pfs.is_complete(small));
+        let p = pfs.progress(small).unwrap();
+        let dur = p.completed.unwrap().saturating_since(p.started).as_secs();
+        assert!(dur > 0.5, "small app should be heavily slowed down, got {dur}");
+        assert!(pfs.is_complete(big));
+    }
+
+    #[test]
+    fn locality_penalty_makes_interference_worse_than_serial() {
+        let mut cfg = simple_cfg();
+        cfg.interference_gamma = 0.7;
+        let mut pfs = Pfs::new(cfg).unwrap();
+        let a = pfs.submit_write(AppId(0), 400.0e6, 128);
+        let b = pfs.submit_write(AppId(1), 400.0e6, 128);
+        pfs.advance_to(t(10.0));
+        let ta = pfs.progress(a).unwrap().completed.unwrap().as_secs();
+        let tb = pfs.progress(b).unwrap().completed.unwrap().as_secs();
+        // Serialized, the pair would need 2 s. With γ=0.7 both finish
+        // later than that.
+        assert!(ta > 2.2 && tb > 2.2, "ta={ta} tb={tb}");
+    }
+
+    #[test]
+    fn pause_and_resume_freeze_progress() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        let a = pfs.submit_write(AppId(0), 400.0e6, 128);
+        pfs.advance_to(t(0.5));
+        pfs.pause(a);
+        let before = pfs.progress(a).unwrap().transferred;
+        pfs.advance_to(t(5.0));
+        let after = pfs.progress(a).unwrap().transferred;
+        assert!((before - after).abs() < 1.0);
+        assert!(!pfs.app_is_active(AppId(0)));
+        pfs.resume(a);
+        assert!(pfs.app_is_active(AppId(0)));
+        pfs.advance_to(t(5.6));
+        assert!(pfs.is_complete(a));
+    }
+
+    #[test]
+    fn paused_app_frees_bandwidth_for_the_other() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        let a = pfs.submit_write(AppId(0), 400.0e6, 128);
+        let b = pfs.submit_write(AppId(1), 400.0e6, 128);
+        pfs.pause(a);
+        pfs.advance_to(t(1.05));
+        assert!(pfs.is_complete(b), "b should finish in ~1 s with a paused");
+        assert!(!pfs.is_complete(a));
+        let _ = a;
+    }
+
+    #[test]
+    fn cancel_removes_transfer() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        let a = pfs.submit_write(AppId(0), 400.0e6, 128);
+        pfs.advance_to(t(0.2));
+        pfs.cancel(a);
+        assert!(pfs.progress(a).is_none());
+        assert!(!pfs.app_is_active(AppId(0)));
+        assert!(pfs.active_apps().is_empty());
+    }
+
+    #[test]
+    fn cache_absorbs_small_bursts_then_thrashes() {
+        let cfg = PfsConfig {
+            num_servers: 1,
+            server_bw: 10.0e6,
+            cache: Some(CacheConfig {
+                capacity_bytes: 50.0e6,
+                absorb_bw: 100.0e6,
+                drain_bw: 10.0e6,
+            }),
+            interference_gamma: 1.0,
+            process_link_bw: 100.0e6,
+            interconnect_bw: f64::INFINITY,
+            share_policy: SharePolicy::ProportionalToProcesses,
+        };
+        let mut pfs = Pfs::new(cfg).unwrap();
+        // A 30 MB burst fits in the cache: completes at ~cache speed.
+        let a = pfs.submit_write(AppId(0), 30.0e6, 4);
+        pfs.advance_to(t(1.0));
+        assert!(pfs.is_complete(a));
+        let dur_a = {
+            let p = pfs.progress(a).unwrap();
+            p.completed.unwrap().saturating_since(p.started).as_secs()
+        };
+        assert!(dur_a < 0.5, "cached burst should be fast, got {dur_a}");
+
+        // A 200 MB burst (cache still holding ~27 MB) saturates the cache
+        // and ends up at disk speed.
+        let b = pfs.submit_write(AppId(0), 200.0e6, 4);
+        pfs.advance_to(t(60.0));
+        assert!(pfs.is_complete(b));
+        let p = pfs.progress(b).unwrap();
+        let dur_b = p.completed.unwrap().saturating_since(p.started).as_secs();
+        assert!(dur_b > 10.0, "saturating burst should be disk-bound, got {dur_b}");
+    }
+
+    #[test]
+    fn next_event_time_tracks_completions() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        assert!(pfs.next_event_time().is_none());
+        let _a = pfs.submit_write(AppId(0), 400.0e6, 128);
+        let next = pfs.next_event_time().unwrap();
+        assert!((next.as_secs() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bytes_completed_accumulates_per_app() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        pfs.submit_write(AppId(0), 100.0e6, 64);
+        pfs.submit_write(AppId(0), 50.0e6, 64);
+        pfs.submit_write(AppId(1), 25.0e6, 64);
+        pfs.advance_to(t(5.0));
+        assert!((pfs.bytes_completed(AppId(0)) - 150.0e6).abs() < 1.0);
+        assert!((pfs.bytes_completed(AppId(1)) - 25.0e6).abs() < 1.0);
+        assert_eq!(pfs.bytes_completed(AppId(9)), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_write_completes_immediately() {
+        let mut pfs = Pfs::new(simple_cfg()).unwrap();
+        let a = pfs.submit_write(AppId(0), 0.0, 16);
+        assert!(pfs.is_complete(a));
+        assert_eq!(pfs.poll_completed(), vec![a]);
+    }
+
+    #[test]
+    fn equal_share_policy_protects_small_app() {
+        let mut cfg = simple_cfg();
+        cfg.share_policy = SharePolicy::EqualPerApplication;
+        let mut pfs = Pfs::new(cfg).unwrap();
+        let _big = pfs.submit_write(AppId(0), 3600.0e6, 360);
+        let small = pfs.submit_write(AppId(1), 40.0e6, 40);
+        pfs.advance_to(t(30.0));
+        let p = pfs.progress(small).unwrap();
+        let dur = p.completed.unwrap().saturating_since(p.started).as_secs();
+        // With per-application fairness the small app gets 200 MB/s and
+        // finishes in ~0.2-0.4 s instead of several seconds.
+        assert!(dur < 0.5, "equal-share small app took {dur}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-server state: active request streams, cache, effective bandwidth.
+
+use crate::cache::WriteBackCache;
+use crate::config::{PfsConfig, SharePolicy};
+use crate::AppId;
+use simcore::fluid::ConstraintId;
+use std::collections::BTreeMap;
+
+/// Dynamic state of one storage server.
+#[derive(Debug, Clone)]
+pub struct ServerState {
+    /// The fluid-network constraint representing this server's ingest
+    /// bandwidth.
+    pub constraint: ConstraintId,
+    /// Optional write-back cache.
+    pub cache: Option<WriteBackCache>,
+    /// Number of active (unpaused, incomplete) request streams per
+    /// application.
+    active_streams: BTreeMap<AppId, usize>,
+}
+
+impl ServerState {
+    /// Creates a server bound to the given fluid-network constraint.
+    pub fn new(constraint: ConstraintId, cache: Option<WriteBackCache>) -> Self {
+        ServerState {
+            constraint,
+            cache,
+            active_streams: BTreeMap::new(),
+        }
+    }
+
+    /// Registers one more active stream for `app`.
+    pub fn add_stream(&mut self, app: AppId) {
+        *self.active_streams.entry(app).or_insert(0) += 1;
+    }
+
+    /// Removes one active stream for `app` (no-op if none registered).
+    pub fn remove_stream(&mut self, app: AppId) {
+        if let Some(n) = self.active_streams.get_mut(&app) {
+            *n -= 1;
+            if *n == 0 {
+                self.active_streams.remove(&app);
+            }
+        }
+    }
+
+    /// Number of distinct applications with at least one active stream.
+    pub fn active_app_count(&self) -> usize {
+        self.active_streams.len()
+    }
+
+    /// Applications with at least one active stream, in id order.
+    pub fn active_apps(&self) -> Vec<AppId> {
+        self.active_streams.keys().copied().collect()
+    }
+
+    /// Locality-breakage multiplier γ^(k−1) for the current number of
+    /// concurrently active applications.
+    pub fn locality_factor(&self, gamma: f64) -> f64 {
+        let k = self.active_app_count();
+        if k <= 1 {
+            1.0
+        } else {
+            gamma.powi(k as i32 - 1)
+        }
+    }
+
+    /// Effective ingest bandwidth of this server given the PFS
+    /// configuration and the current cache / contention state.
+    ///
+    /// * No cache: disk speed × locality factor.
+    /// * Cache with room: absorb (network) speed — the cache hides the disk,
+    ///   so interleaving does not (yet) hurt.
+    /// * Saturated cache: drain (disk) speed × locality factor.
+    pub fn effective_bandwidth(&self, cfg: &PfsConfig) -> f64 {
+        let locality = self.locality_factor(cfg.interference_gamma);
+        match &self.cache {
+            None => cfg.server_bw * locality,
+            Some(c) => {
+                if c.is_saturated() {
+                    c.config().drain_bw * locality
+                } else {
+                    c.config().absorb_bw
+                }
+            }
+        }
+    }
+
+    /// The fair-share weight a transfer with `procs` processes gets on this
+    /// server under the configured share policy.
+    pub fn share_weight(policy: SharePolicy, procs: u32) -> f64 {
+        match policy {
+            SharePolicy::ProportionalToProcesses => procs.max(1) as f64,
+            SharePolicy::EqualPerApplication => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn server(cache: bool) -> ServerState {
+        let cache = cache.then(|| {
+            WriteBackCache::new(CacheConfig {
+                capacity_bytes: 1000.0,
+                absorb_bw: 100.0,
+                drain_bw: 10.0,
+            })
+        });
+        ServerState::new(ConstraintId(0), cache)
+    }
+
+    fn cfg() -> PfsConfig {
+        PfsConfig {
+            num_servers: 1,
+            server_bw: 50.0,
+            cache: None,
+            interference_gamma: 0.8,
+            process_link_bw: 1.0,
+            interconnect_bw: f64::INFINITY,
+            share_policy: SharePolicy::ProportionalToProcesses,
+        }
+    }
+
+    #[test]
+    fn stream_tracking() {
+        let mut s = server(false);
+        assert_eq!(s.active_app_count(), 0);
+        s.add_stream(AppId(0));
+        s.add_stream(AppId(0));
+        s.add_stream(AppId(1));
+        assert_eq!(s.active_app_count(), 2);
+        assert_eq!(s.active_apps(), vec![AppId(0), AppId(1)]);
+        s.remove_stream(AppId(0));
+        assert_eq!(s.active_app_count(), 2, "still one stream left for app 0");
+        s.remove_stream(AppId(0));
+        assert_eq!(s.active_app_count(), 1);
+        // Removing a stream that does not exist is a no-op.
+        s.remove_stream(AppId(7));
+        assert_eq!(s.active_app_count(), 1);
+    }
+
+    #[test]
+    fn locality_factor_kicks_in_at_two_apps() {
+        let mut s = server(false);
+        s.add_stream(AppId(0));
+        assert_eq!(s.locality_factor(0.8), 1.0);
+        s.add_stream(AppId(1));
+        assert!((s.locality_factor(0.8) - 0.8).abs() < 1e-12);
+        s.add_stream(AppId(2));
+        assert!((s.locality_factor(0.8) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_without_cache_is_penalized_disk() {
+        let mut s = server(false);
+        s.add_stream(AppId(0));
+        assert!((s.effective_bandwidth(&cfg()) - 50.0).abs() < 1e-9);
+        s.add_stream(AppId(1));
+        assert!((s.effective_bandwidth(&cfg()) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_bandwidth_with_cache_uses_absorb_until_saturated() {
+        let mut s = server(true);
+        s.add_stream(AppId(0));
+        s.add_stream(AppId(1));
+        assert!((s.effective_bandwidth(&cfg()) - 100.0).abs() < 1e-9);
+        s.cache.as_mut().unwrap().advance(1e6, 100.0);
+        assert!(s.cache.as_ref().unwrap().is_saturated());
+        // Saturated: drain speed times locality (two apps → ×0.8).
+        assert!((s.effective_bandwidth(&cfg()) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_weight_follows_policy() {
+        assert_eq!(
+            ServerState::share_weight(SharePolicy::ProportionalToProcesses, 336),
+            336.0
+        );
+        assert_eq!(
+            ServerState::share_weight(SharePolicy::ProportionalToProcesses, 0),
+            1.0
+        );
+        assert_eq!(ServerState::share_weight(SharePolicy::EqualPerApplication, 336), 1.0);
+    }
+}

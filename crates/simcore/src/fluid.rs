@@ -1,0 +1,569 @@
+//! Fluid-flow bandwidth-sharing model.
+//!
+//! Ongoing data transfers are modelled as *flows* draining a fixed number of
+//! bytes through one or more capacity *constraints* (client links, the
+//! interconnect, storage servers). Whenever the set of active flows or a
+//! capacity changes, per-flow rates are recomputed with **weighted max-min
+//! fairness** (progressive filling): each flow receives bandwidth
+//! proportionally to its weight until it hits its own rate cap or a shared
+//! constraint saturates.
+//!
+//! This is the mechanism that reproduces the paper's central observation
+//! (Section II): a parallel file system shares its bandwidth per *request
+//! stream*, not per *application*, so an application with many processes
+//! crowds out a small one — the small application's interference factor can
+//! reach 14× (Fig. 6b) even though the sharing is "fair" at the request
+//! level.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Numerical tolerance for byte counts and rates.
+const EPS: f64 = 1e-9;
+/// A flow whose remaining volume falls below this many bytes is complete.
+const COMPLETE_BYTES: f64 = 1e-6;
+
+/// Handle to a capacity constraint (e.g. one storage server's bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConstraintId(pub usize);
+
+/// Handle to a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+/// Static description of a flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Total number of bytes the flow must transfer.
+    pub bytes: f64,
+    /// Fair-share weight (typically the number of client processes backing
+    /// the flow).
+    pub weight: f64,
+    /// Upper bound on the flow's own rate in bytes/s (e.g. the aggregate
+    /// client-side link bandwidth). May be `f64::INFINITY` if at least one
+    /// constraint is attached.
+    pub rate_cap: f64,
+    /// The shared constraints this flow traverses.
+    pub constraints: Vec<ConstraintId>,
+}
+
+impl FlowSpec {
+    /// Convenience constructor for a flow crossing the given constraints.
+    pub fn new(bytes: f64, weight: f64, rate_cap: f64, constraints: Vec<ConstraintId>) -> Self {
+        FlowSpec {
+            bytes,
+            weight,
+            rate_cap,
+            constraints,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    spec: FlowSpec,
+    remaining: f64,
+    transferred: f64,
+    rate: f64,
+    paused: bool,
+}
+
+/// Snapshot of a flow's progress, returned by accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowProgress {
+    /// Bytes still to transfer.
+    pub remaining: f64,
+    /// Bytes transferred so far.
+    pub transferred: f64,
+    /// Current allocated rate in bytes/s (0 when paused or starved).
+    pub rate: f64,
+    /// Whether the flow is currently paused.
+    pub paused: bool,
+}
+
+/// The fluid network: a set of constraints and the flows sharing them.
+#[derive(Debug, Clone, Default)]
+pub struct FluidNetwork {
+    capacities: Vec<f64>,
+    flows: BTreeMap<FlowId, FlowState>,
+    next_flow: u64,
+    dirty: bool,
+}
+
+impl FluidNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a capacity constraint (bytes/s) and returns its handle.
+    pub fn add_constraint(&mut self, capacity: f64) -> ConstraintId {
+        assert!(capacity >= 0.0, "constraint capacity must be non-negative");
+        self.capacities.push(capacity);
+        self.dirty = true;
+        ConstraintId(self.capacities.len() - 1)
+    }
+
+    /// Number of constraints in the network.
+    pub fn constraint_count(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Current capacity of a constraint.
+    pub fn capacity(&self, id: ConstraintId) -> f64 {
+        self.capacities[id.0]
+    }
+
+    /// Updates the capacity of a constraint (used by the PFS layer to model
+    /// cache-full transitions and locality-breakage penalties).
+    pub fn set_capacity(&mut self, id: ConstraintId, capacity: f64) {
+        assert!(capacity >= 0.0, "constraint capacity must be non-negative");
+        if (self.capacities[id.0] - capacity).abs() > EPS {
+            self.capacities[id.0] = capacity;
+            self.dirty = true;
+        }
+    }
+
+    /// Registers a new flow and returns its handle. Rates are lazily
+    /// recomputed on the next query.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(spec.bytes >= 0.0, "flow volume must be non-negative");
+        assert!(spec.weight > 0.0, "flow weight must be positive");
+        assert!(
+            spec.rate_cap > 0.0,
+            "flow rate cap must be positive (use f64::INFINITY for uncapped)"
+        );
+        assert!(
+            spec.rate_cap.is_finite() || !spec.constraints.is_empty(),
+            "a flow must have a finite rate cap or at least one constraint"
+        );
+        for c in &spec.constraints {
+            assert!(c.0 < self.capacities.len(), "unknown constraint {c:?}");
+        }
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                remaining: spec.bytes,
+                transferred: 0.0,
+                rate: 0.0,
+                paused: false,
+                spec,
+            },
+        );
+        self.dirty = true;
+        id
+    }
+
+    /// Removes a flow (complete or not) and returns its final progress.
+    pub fn remove_flow(&mut self, id: FlowId) -> Option<FlowProgress> {
+        let st = self.flows.remove(&id)?;
+        self.dirty = true;
+        Some(FlowProgress {
+            remaining: st.remaining,
+            transferred: st.transferred,
+            rate: 0.0,
+            paused: st.paused,
+        })
+    }
+
+    /// Pauses a flow: it stops consuming bandwidth but keeps its remaining
+    /// volume (used by the interruption strategy).
+    pub fn pause_flow(&mut self, id: FlowId) {
+        if let Some(f) = self.flows.get_mut(&id) {
+            if !f.paused {
+                f.paused = true;
+                f.rate = 0.0;
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Resumes a paused flow.
+    pub fn resume_flow(&mut self, id: FlowId) {
+        if let Some(f) = self.flows.get_mut(&id) {
+            if f.paused {
+                f.paused = false;
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Returns the progress snapshot of a flow.
+    pub fn progress(&mut self, id: FlowId) -> Option<FlowProgress> {
+        self.ensure_rates();
+        self.flows.get(&id).map(|f| FlowProgress {
+            remaining: f.remaining,
+            transferred: f.transferred,
+            rate: f.rate,
+            paused: f.paused,
+        })
+    }
+
+    /// True if the flow has transferred all of its bytes.
+    pub fn is_complete(&self, id: FlowId) -> bool {
+        self.flows
+            .get(&id)
+            .map(|f| f.remaining <= COMPLETE_BYTES)
+            .unwrap_or(false)
+    }
+
+    /// Number of registered flows (complete flows stay registered until
+    /// removed).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Iterates over all flow ids in deterministic (insertion id) order.
+    pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.flows.keys().copied()
+    }
+
+    /// Current rate of a flow in bytes/s.
+    pub fn rate(&mut self, id: FlowId) -> f64 {
+        self.ensure_rates();
+        self.flows.get(&id).map(|f| f.rate).unwrap_or(0.0)
+    }
+
+    /// Aggregate rate (bytes/s) over all active flows.
+    pub fn aggregate_rate(&mut self) -> f64 {
+        self.ensure_rates();
+        self.flows.values().map(|f| f.rate).sum()
+    }
+
+    /// Time until the earliest active flow completes at current rates, or
+    /// `None` if no active flow is making progress.
+    pub fn time_to_next_completion(&mut self) -> Option<SimDuration> {
+        self.ensure_rates();
+        let mut best: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.paused || f.remaining <= COMPLETE_BYTES || f.rate <= EPS {
+                continue;
+            }
+            let t = f.remaining / f.rate;
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
+        }
+        best.map(SimDuration::from_secs)
+    }
+
+    /// Advances every active flow by `dt` at its current rate. Flows never
+    /// overshoot: remaining volume is clamped at zero.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.ensure_rates();
+        let secs = dt.as_secs();
+        if secs <= 0.0 {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            if f.paused || f.rate <= EPS {
+                continue;
+            }
+            let moved = (f.rate * secs).min(f.remaining);
+            f.remaining -= moved;
+            f.transferred += moved;
+            if f.remaining <= COMPLETE_BYTES {
+                f.remaining = 0.0;
+            }
+        }
+        // Completions free capacity for the remaining flows.
+        self.dirty = true;
+    }
+
+    /// Flows that are complete but still registered.
+    pub fn completed_flows(&self) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= COMPLETE_BYTES)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Forces a rate recomputation (normally done lazily).
+    pub fn recompute(&mut self) {
+        self.dirty = true;
+        self.ensure_rates();
+    }
+
+    fn ensure_rates(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.compute_rates();
+    }
+
+    /// Weighted max-min fair allocation via progressive filling.
+    fn compute_rates(&mut self) {
+        let n_constraints = self.capacities.len();
+        let mut cap_left = self.capacities.clone();
+
+        // Active flows participate; everyone else gets rate 0.
+        let mut unfrozen: Vec<FlowId> = Vec::new();
+        for (id, f) in self.flows.iter_mut() {
+            if f.paused || f.remaining <= COMPLETE_BYTES {
+                f.rate = 0.0;
+            } else {
+                f.rate = 0.0;
+                unfrozen.push(*id);
+            }
+        }
+
+        // Progressive filling: raise every unfrozen flow's rate in lockstep
+        // (proportionally to its weight) until either the flow hits its own
+        // cap or one of its constraints saturates; freeze and repeat.
+        let mut guard = 0usize;
+        let max_iters = unfrozen.len() + n_constraints + 2;
+        while !unfrozen.is_empty() && guard <= max_iters {
+            guard += 1;
+
+            // Weight crossing each constraint.
+            let mut weight_on: Vec<f64> = vec![0.0; n_constraints];
+            for id in &unfrozen {
+                let f = &self.flows[id];
+                for c in &f.spec.constraints {
+                    weight_on[c.0] += f.spec.weight;
+                }
+            }
+
+            // Largest uniform per-weight increment permitted by constraints.
+            let mut delta = f64::INFINITY;
+            for (c, &w) in weight_on.iter().enumerate() {
+                if w > EPS {
+                    delta = delta.min((cap_left[c]).max(0.0) / w);
+                }
+            }
+            // ... and by per-flow caps.
+            for id in &unfrozen {
+                let f = &self.flows[id];
+                if f.spec.rate_cap.is_finite() {
+                    delta = delta.min((f.spec.rate_cap - f.rate).max(0.0) / f.spec.weight);
+                }
+            }
+
+            if !delta.is_finite() {
+                // No binding constraint and no finite cap: cannot happen
+                // because add_flow requires one of the two; defensively stop.
+                break;
+            }
+
+            // Apply the increment.
+            if delta > 0.0 {
+                for id in &unfrozen {
+                    let f = self.flows.get_mut(id).expect("unfrozen flow exists");
+                    f.rate += f.spec.weight * delta;
+                }
+                for (c, &w) in weight_on.iter().enumerate() {
+                    if w > EPS {
+                        cap_left[c] -= w * delta;
+                    }
+                }
+            }
+
+            // Freeze flows that hit their cap or cross a saturated constraint.
+            let saturated: Vec<bool> = cap_left.iter().map(|&c| c <= EPS).collect();
+            let before = unfrozen.len();
+            unfrozen.retain(|id| {
+                let f = &self.flows[id];
+                let capped =
+                    f.spec.rate_cap.is_finite() && f.rate >= f.spec.rate_cap - EPS;
+                let blocked = f.spec.constraints.iter().any(|c| saturated[c.0]);
+                !(capped || blocked)
+            });
+            if unfrozen.len() == before && delta <= EPS {
+                // No progress possible (all remaining flows starved).
+                for id in &unfrozen {
+                    self.flows.get_mut(id).expect("flow exists").rate = 0.0;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_flow_gets_min_of_cap_and_constraint() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let f = net.add_flow(FlowSpec::new(1000.0, 1.0, 60.0, vec![server]));
+        assert!(approx(net.rate(f), 60.0));
+
+        let g = net.add_flow(FlowSpec::new(1000.0, 1.0, f64::INFINITY, vec![server]));
+        // f capped at 60 is below its fair share; g takes the rest.
+        assert!(approx(net.rate(f), 50.0) || net.rate(f) <= 60.0 + 1e-6);
+        assert!(approx(net.rate(f) + net.rate(g), 100.0));
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let a = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![server]));
+        let b = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![server]));
+        assert!(approx(net.rate(a), 50.0));
+        assert!(approx(net.rate(b), 50.0));
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let big = net.add_flow(FlowSpec::new(1e6, 3.0, f64::INFINITY, vec![server]));
+        let small = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![server]));
+        assert!(approx(net.rate(big), 75.0));
+        assert!(approx(net.rate(small), 25.0));
+    }
+
+    #[test]
+    fn capped_flow_leaves_spare_bandwidth_to_others() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let capped = net.add_flow(FlowSpec::new(1e6, 1.0, 10.0, vec![server]));
+        let open = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![server]));
+        assert!(approx(net.rate(capped), 10.0));
+        assert!(approx(net.rate(open), 90.0));
+    }
+
+    #[test]
+    fn multi_constraint_bottleneck_is_respected() {
+        let mut net = FluidNetwork::new();
+        let wide = net.add_constraint(1000.0);
+        let narrow = net.add_constraint(30.0);
+        let through_both = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![wide, narrow]));
+        let wide_only = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![wide]));
+        assert!(approx(net.rate(through_both), 30.0));
+        assert!(approx(net.rate(wide_only), 970.0));
+    }
+
+    #[test]
+    fn advance_and_completion() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let f = net.add_flow(FlowSpec::new(200.0, 1.0, f64::INFINITY, vec![server]));
+        let ttc = net.time_to_next_completion().unwrap();
+        assert!(approx(ttc.as_secs(), 2.0));
+        net.advance(SimDuration::from_secs(1.0));
+        assert!(approx(net.progress(f).unwrap().remaining, 100.0));
+        net.advance(SimDuration::from_secs(1.0));
+        assert!(net.is_complete(f));
+        assert_eq!(net.completed_flows(), vec![f]);
+        assert!(net.time_to_next_completion().is_none());
+    }
+
+    #[test]
+    fn advance_never_overshoots() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let f = net.add_flow(FlowSpec::new(50.0, 1.0, f64::INFINITY, vec![server]));
+        net.advance(SimDuration::from_secs(10.0));
+        let p = net.progress(f).unwrap();
+        assert_eq!(p.remaining, 0.0);
+        assert!(approx(p.transferred, 50.0));
+    }
+
+    #[test]
+    fn pause_and_resume() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let a = net.add_flow(FlowSpec::new(1000.0, 1.0, f64::INFINITY, vec![server]));
+        let b = net.add_flow(FlowSpec::new(1000.0, 1.0, f64::INFINITY, vec![server]));
+        net.pause_flow(a);
+        assert_eq!(net.rate(a), 0.0);
+        assert!(approx(net.rate(b), 100.0), "paused flow frees its share");
+        net.advance(SimDuration::from_secs(1.0));
+        assert!(approx(net.progress(a).unwrap().remaining, 1000.0));
+        net.resume_flow(a);
+        assert!(approx(net.rate(a), 50.0));
+    }
+
+    #[test]
+    fn completion_frees_capacity_for_survivors() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let short = net.add_flow(FlowSpec::new(100.0, 1.0, f64::INFINITY, vec![server]));
+        let long = net.add_flow(FlowSpec::new(1000.0, 1.0, f64::INFINITY, vec![server]));
+        // Both run at 50 B/s; the short one finishes after 2 s.
+        let ttc = net.time_to_next_completion().unwrap();
+        assert!(approx(ttc.as_secs(), 2.0));
+        net.advance(ttc);
+        assert!(net.is_complete(short));
+        assert!(approx(net.rate(long), 100.0));
+    }
+
+    #[test]
+    fn set_capacity_changes_rates() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let f = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![server]));
+        assert!(approx(net.rate(f), 100.0));
+        net.set_capacity(server, 10.0);
+        assert!(approx(net.rate(f), 10.0));
+        assert!(approx(net.capacity(server), 10.0));
+    }
+
+    #[test]
+    fn remove_flow_returns_progress() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let f = net.add_flow(FlowSpec::new(100.0, 1.0, f64::INFINITY, vec![server]));
+        net.advance(SimDuration::from_secs(0.5));
+        let p = net.remove_flow(f).unwrap();
+        assert!(approx(p.transferred, 50.0));
+        assert!(approx(p.remaining, 50.0));
+        assert_eq!(net.flow_count(), 0);
+        assert!(net.remove_flow(f).is_none());
+    }
+
+    #[test]
+    fn zero_byte_flow_is_immediately_complete() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let f = net.add_flow(FlowSpec::new(0.0, 1.0, f64::INFINITY, vec![server]));
+        assert!(net.is_complete(f));
+    }
+
+    #[test]
+    fn aggregate_rate_sums_all_flows() {
+        let mut net = FluidNetwork::new();
+        let s1 = net.add_constraint(100.0);
+        let s2 = net.add_constraint(40.0);
+        net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![s1]));
+        net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![s2]));
+        assert!(approx(net.aggregate_rate(), 140.0));
+    }
+
+    #[test]
+    fn zero_capacity_constraint_starves_flows() {
+        let mut net = FluidNetwork::new();
+        let dead = net.add_constraint(0.0);
+        let f = net.add_flow(FlowSpec::new(100.0, 1.0, f64::INFINITY, vec![dead]));
+        assert_eq!(net.rate(f), 0.0);
+        assert!(net.time_to_next_completion().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_constraint_panics() {
+        let mut net = FluidNetwork::new();
+        net.add_flow(FlowSpec::new(1.0, 1.0, 1.0, vec![ConstraintId(3)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn uncapped_unconstrained_flow_panics() {
+        let mut net = FluidNetwork::new();
+        net.add_flow(FlowSpec::new(1.0, 1.0, f64::INFINITY, vec![]));
+    }
+}

@@ -1,0 +1,44 @@
+//! # workloads — job traces and the case for coordination
+//!
+//! Section II of the CALCioM paper motivates cross-application coordination
+//! with scheduler traces from Argonne's Intrepid: many relatively small
+//! jobs run concurrently at any instant, so the probability that two of
+//! them perform I/O at the same time is high. This crate reproduces that
+//! analysis:
+//!
+//! * [`trace`] — job-trace representation and a parser for the Standard
+//!   Workload Format used by the Parallel Workload Archive.
+//! * [`synthetic`] — a synthetic Intrepid-like trace generator calibrated
+//!   to the published Fig. 1 distributions (the original trace is not
+//!   redistributable).
+//! * [`concurrency`] — the time-weighted distribution of the number of
+//!   concurrently running jobs (Fig. 1b).
+//! * [`probability`] — the Section II-B model:
+//!   `P(another is doing I/O) = 1 − Σ_n P(X=n)(1−E[µ])^n`.
+//!
+//! ## Example
+//!
+//! ```
+//! use workloads::{
+//!     concurrency::ConcurrencyDistribution,
+//!     probability::probability_concurrent_io,
+//!     synthetic::{generate, SyntheticTraceConfig},
+//! };
+//!
+//! let trace = generate(&SyntheticTraceConfig { jobs: 2_000, ..Default::default() });
+//! let concurrency = ConcurrencyDistribution::from_trace(&trace);
+//! let p = probability_concurrent_io(&concurrency, 0.05);
+//! assert!(p > 0.2, "interference should be frequent, got {p}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod concurrency;
+pub mod probability;
+pub mod synthetic;
+pub mod trace;
+
+pub use concurrency::ConcurrencyDistribution;
+pub use probability::{probability_concurrent_io, probability_second_arrives_during_first};
+pub use synthetic::{generate, SyntheticTraceConfig, SIZE_BUCKETS};
+pub use trace::{Job, JobTrace};

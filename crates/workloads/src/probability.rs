@@ -1,0 +1,108 @@
+//! Probability of concurrent I/O accesses (Section II-B).
+//!
+//! With `X` the number of concurrently running applications and `µ` the
+//! fraction of its time an application spends doing I/O, the probability
+//! that *at least one* application is doing I/O at an arbitrary instant is
+//!
+//! ```text
+//! P(another is doing I/O) = 1 − Σ_n P(X = n) · (1 − E[µ])^n
+//! ```
+//!
+//! The paper evaluates this with the Intrepid concurrency distribution and
+//! `E[µ] = 5%`, obtaining ≈ 64% — frequent enough to motivate
+//! cross-application coordination.
+
+use crate::concurrency::ConcurrencyDistribution;
+
+/// Probability that at least one of the concurrently running applications
+/// is performing I/O when the system is observed at an arbitrary instant,
+/// given the concurrency distribution and the mean fraction of time spent
+/// in I/O (`E[µ]`, in `[0, 1]`).
+pub fn probability_concurrent_io(dist: &ConcurrencyDistribution, mean_io_fraction: f64) -> f64 {
+    let mu = mean_io_fraction.clamp(0.0, 1.0);
+    let none_doing_io: f64 = dist
+        .probabilities()
+        .iter()
+        .enumerate()
+        .map(|(n, p)| p * (1.0 - mu).powi(n as i32))
+        .sum();
+    (1.0 - none_doing_io).clamp(0.0, 1.0)
+}
+
+/// Probability (Section IV-B) that application B starts its I/O phase while
+/// application A is already writing, given that both complete exactly one
+/// I/O phase during a window of `window_secs` seconds and A's stand-alone
+/// write takes `t_a_alone_secs`:
+///
+/// ```text
+/// P(dt < 0) = T_A(alone) / (t2 − t1)
+/// ```
+///
+/// (The paper names the event `dt < 0` from B's perspective.) The result is
+/// clamped to `[0, 1]`.
+pub fn probability_second_arrives_during_first(t_a_alone_secs: f64, window_secs: f64) -> f64 {
+    if window_secs <= 0.0 {
+        return 1.0;
+    }
+    (t_a_alone_secs / window_secs).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_io_fraction_means_no_interference() {
+        let dist = ConcurrencyDistribution::from_probabilities(vec![0.0, 0.5, 0.5]);
+        assert_eq!(probability_concurrent_io(&dist, 0.0), 0.0);
+    }
+
+    #[test]
+    fn always_in_io_with_at_least_one_job_means_certain_interference() {
+        let dist = ConcurrencyDistribution::from_probabilities(vec![0.0, 1.0]);
+        assert_eq!(probability_concurrent_io(&dist, 1.0), 1.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_example() {
+        // P(X=0)=0.2, P(X=1)=0.5, P(X=2)=0.3, E[µ]=0.1:
+        // Σ = 0.2·1 + 0.5·0.9 + 0.3·0.81 = 0.893 → P = 0.107.
+        let dist = ConcurrencyDistribution::from_probabilities(vec![0.2, 0.5, 0.3]);
+        let p = probability_concurrent_io(&dist, 0.1);
+        assert!((p - 0.107).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_magnitude_with_many_concurrent_jobs() {
+        // With tens of concurrent jobs (Fig. 1b shows the mode around 20-40)
+        // and E[µ] = 5%, the probability should be well above 50% — the
+        // paper reports 64%.
+        let mut probs = vec![0.0; 41];
+        for (n, p) in probs.iter_mut().enumerate().take(41).skip(10) {
+            *p = if n < 30 { 0.04 } else { 0.02 };
+        }
+        let dist = ConcurrencyDistribution::from_probabilities(probs);
+        let p = probability_concurrent_io(&dist, 0.05);
+        assert!(p > 0.5 && p < 0.95, "p = {p}");
+    }
+
+    #[test]
+    fn more_io_time_or_more_jobs_increases_probability() {
+        let light = ConcurrencyDistribution::from_probabilities(vec![0.5, 0.5]);
+        let heavy = ConcurrencyDistribution::from_probabilities(vec![0.0, 0.0, 0.0, 1.0]);
+        assert!(
+            probability_concurrent_io(&light, 0.05) < probability_concurrent_io(&heavy, 0.05)
+        );
+        assert!(
+            probability_concurrent_io(&heavy, 0.02) < probability_concurrent_io(&heavy, 0.2)
+        );
+    }
+
+    #[test]
+    fn arrival_probability_is_ratio_of_times() {
+        assert_eq!(probability_second_arrives_during_first(10.0, 100.0), 0.1);
+        assert_eq!(probability_second_arrives_during_first(200.0, 100.0), 1.0);
+        assert_eq!(probability_second_arrives_during_first(10.0, 0.0), 1.0);
+        assert_eq!(probability_second_arrives_during_first(0.0, 100.0), 0.0);
+    }
+}

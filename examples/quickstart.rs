@@ -1,0 +1,51 @@
+//! Quickstart: two applications share a parallel file system, with and
+//! without CALCioM coordination.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use calciom::{
+    AccessPattern, AppConfig, AppId, EfficiencyMetric, Granularity, PfsConfig, Session,
+    SessionConfig, Strategy,
+};
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), String> {
+    // A Grid'5000-like deployment: 12 storage servers, no write cache.
+    let pfs = PfsConfig::grid5000_rennes();
+
+    // Two applications, each with 336 processes writing 16 MB per process.
+    // Application B enters its I/O phase 3 seconds after application A.
+    let app_a = AppConfig::new(AppId(0), "App A", 336, AccessPattern::contiguous(16.0e6));
+    let app_b = AppConfig::new(AppId(1), "App B", 336, AccessPattern::contiguous(16.0e6))
+        .starting_at_secs(3.0);
+
+    // Stand-alone baselines (the T_alone of the interference factor).
+    let alone: BTreeMap<AppId, f64> = BTreeMap::from([
+        (AppId(0), Session::run_alone(app_a.clone(), pfs.clone())?),
+        (AppId(1), Session::run_alone(app_b.clone(), pfs.clone())?),
+    ]);
+    println!("stand-alone write times: A = {:.2}s, B = {:.2}s", alone[&AppId(0)], alone[&AppId(1)]);
+
+    for strategy in [
+        Strategy::Interfere,
+        Strategy::FcfsSerialize,
+        Strategy::Interrupt,
+        Strategy::Dynamic,
+    ] {
+        let cfg = SessionConfig::new(pfs.clone(), vec![app_a.clone(), app_b.clone()])
+            .with_strategy(strategy)
+            .with_granularity(Granularity::Round);
+        let report = Session::run(cfg)?;
+        let t = |id: usize| report.app(AppId(id)).unwrap().first_phase().io_time();
+        println!(
+            "{:<16} A: {:>6.2}s (I = {:.2})   B: {:>6.2}s (I = {:.2})   CPU·s wasted: {:>9.0}",
+            strategy.label(),
+            t(0),
+            calciom::interference_factor(t(0), alone[&AppId(0)]),
+            t(1),
+            calciom::interference_factor(t(1), alone[&AppId(1)]),
+            report.metric(EfficiencyMetric::CpuSecondsWasted, &alone),
+        );
+    }
+    Ok(())
+}

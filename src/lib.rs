@@ -1,0 +1,13 @@
+//! Umbrella crate for the CALCioM reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the top-level
+//! `examples/` and `tests/` directories can exercise the whole stack with a
+//! single dependency. See `DESIGN.md` for the crate inventory and
+//! `EXPERIMENTS.md` for the reproduced figures.
+
+pub use calciom;
+pub use iobench;
+pub use mpiio;
+pub use pfs;
+pub use simcore;
+pub use workloads;

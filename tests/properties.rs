@@ -1,0 +1,215 @@
+//! Property-based tests on the core invariants of the stack:
+//! bandwidth-sharing (max-min fairness), the analytic expectation model,
+//! the coordination session, and the exchanged-information encoding.
+
+use calciom::{
+    AccessPattern, AppConfig, AppId, Granularity, IoInfo, PfsConfig, Session, SessionConfig,
+    SharePolicy, Strategy,
+};
+use iobench::expected_times;
+use proptest::prelude::*;
+use simcore::fluid::{FlowSpec, FluidNetwork};
+use simcore::SimDuration;
+
+const MB: f64 = 1.0e6;
+
+fn pfs_for_tests() -> PfsConfig {
+    PfsConfig {
+        num_servers: 8,
+        server_bw: 80.0 * MB,
+        cache: None,
+        interference_gamma: 0.85,
+        process_link_bw: 10.0 * MB,
+        interconnect_bw: f64::INFINITY,
+        share_policy: SharePolicy::ProportionalToProcesses,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weighted max-min fairness never over-commits a constraint and never
+    /// hands a flow more than its own rate cap.
+    #[test]
+    fn fluid_rates_respect_capacities_and_caps(
+        capacities in prop::collection::vec(1.0f64..1000.0, 1..4),
+        flows in prop::collection::vec(
+            (1.0f64..1e6, 1.0f64..64.0, 1.0f64..500.0, prop::collection::vec(0usize..4, 1..4)),
+            1..12,
+        ),
+    ) {
+        let mut net = FluidNetwork::new();
+        let constraint_ids: Vec<_> = capacities.iter().map(|&c| net.add_constraint(c)).collect();
+        let mut flow_ids = Vec::new();
+        for (bytes, weight, cap, constraints) in &flows {
+            let attached: Vec<_> = constraints
+                .iter()
+                .map(|&i| constraint_ids[i % constraint_ids.len()])
+                .collect();
+            flow_ids.push(net.add_flow(FlowSpec::new(*bytes, *weight, *cap, attached)));
+        }
+
+        // Per-flow invariants.
+        let mut usage = vec![0.0f64; capacities.len()];
+        for (id, (_, _, cap, constraints)) in flow_ids.iter().zip(&flows) {
+            let rate = net.rate(*id);
+            prop_assert!(rate >= -1e-9);
+            prop_assert!(rate <= cap + 1e-6, "rate {} exceeds cap {}", rate, cap);
+            for &c in constraints {
+                usage[c % capacities.len()] += rate;
+            }
+        }
+        // A flow attached to several constraints consumes its rate on each
+        // of them at most once; recompute usage precisely per constraint.
+        let mut usage = vec![0.0f64; capacities.len()];
+        for (id, (_, _, _, constraints)) in flow_ids.iter().zip(&flows) {
+            let rate = net.rate(*id);
+            let mut seen = std::collections::BTreeSet::new();
+            for &c in constraints {
+                let idx = c % capacities.len();
+                if seen.insert(idx) {
+                    usage[idx] += rate;
+                }
+            }
+        }
+        for (used, cap) in usage.iter().zip(&capacities) {
+            prop_assert!(*used <= cap * (1.0 + 1e-6) + 1e-6, "used {} > cap {}", used, cap);
+        }
+    }
+
+    /// Advancing the network never creates bytes: transferred + remaining
+    /// stays equal to the original volume, and remaining never goes
+    /// negative.
+    #[test]
+    fn fluid_advance_conserves_bytes(
+        bytes in prop::collection::vec(1.0f64..1e7, 1..8),
+        steps in prop::collection::vec(0.01f64..5.0, 1..10),
+    ) {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(50.0 * MB);
+        let ids: Vec<_> = bytes
+            .iter()
+            .map(|&b| net.add_flow(FlowSpec::new(b, 1.0, f64::INFINITY, vec![server])))
+            .collect();
+        for &s in &steps {
+            net.advance(SimDuration::from_secs(s));
+        }
+        for (id, &b) in ids.iter().zip(&bytes) {
+            let p = net.progress(*id).unwrap();
+            prop_assert!(p.remaining >= 0.0);
+            prop_assert!((p.remaining + p.transferred - b).abs() < 1.0,
+                "remaining {} + transferred {} != {}", p.remaining, p.transferred, b);
+        }
+    }
+
+    /// The proportional-sharing expectation is symmetric, never faster than
+    /// running alone, and never slower than full serialization.
+    #[test]
+    fn expected_times_are_bounded_and_symmetric(
+        ta in 0.5f64..100.0,
+        tb in 0.5f64..100.0,
+        dt in -120.0f64..120.0,
+        wa in 1.0f64..2048.0,
+        wb in 1.0f64..2048.0,
+    ) {
+        let e = expected_times(ta, tb, dt, wa, wb);
+        prop_assert!(e.a >= ta - 1e-9);
+        prop_assert!(e.b >= tb - 1e-9);
+        prop_assert!(e.a <= ta + tb + 1e-9);
+        prop_assert!(e.b <= ta + tb + 1e-9);
+        let mirrored = expected_times(tb, ta, -dt, wb, wa);
+        prop_assert!((e.a - mirrored.b).abs() < 1e-6);
+        prop_assert!((e.b - mirrored.a).abs() < 1e-6);
+    }
+
+    /// The exchanged information survives the flat (key, value) encoding of
+    /// the paper's MPI_Info representation.
+    #[test]
+    fn io_info_round_trips_through_pairs(
+        app in 0usize..64,
+        procs in 1u32..200_000,
+        files in 1u32..64,
+        rounds in 1u32..4096,
+        total in 0.0f64..1e13,
+        frac in 0.0f64..1.0,
+        alone in 0.0f64..1e5,
+        share in 0.0f64..1.0,
+    ) {
+        let info = IoInfo {
+            app: AppId(app),
+            procs,
+            files_total: files,
+            rounds_total: rounds,
+            bytes_total: total,
+            bytes_remaining: total * frac,
+            est_alone_total_secs: alone,
+            est_alone_remaining_secs: alone * frac,
+            pfs_share: share,
+            granularity: Granularity::File,
+        };
+        let back = IoInfo::from_pairs(&info.to_pairs()).unwrap();
+        prop_assert_eq!(back, info);
+    }
+}
+
+proptest! {
+    // Full-stack properties run fewer cases: each case is a complete
+    // simulation.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any two-application scenario and any strategy: interference
+    /// factors are at least 1, every byte is written, and coordinated runs
+    /// never finish the pair later than letting them interfere would
+    /// (within tolerance), because coordination is work-conserving.
+    #[test]
+    fn session_invariants_hold_for_random_scenarios(
+        procs_a in 16u32..512,
+        procs_b in 8u32..256,
+        mb_a in 1.0f64..24.0,
+        mb_b in 1.0f64..24.0,
+        dt in 0.0f64..10.0,
+        strided in any::<bool>(),
+        strategy_pick in 0usize..4,
+    ) {
+        let pattern_a = if strided {
+            AccessPattern::strided(mb_a * MB / 4.0, 4)
+        } else {
+            AccessPattern::contiguous(mb_a * MB)
+        };
+        let pattern_b = AccessPattern::contiguous(mb_b * MB);
+        let a = AppConfig::new(AppId(0), "A", procs_a, pattern_a);
+        let b = AppConfig::new(AppId(1), "B", procs_b, pattern_b).starting_at_secs(dt);
+        let strategy = [
+            Strategy::Interfere,
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Dynamic,
+        ][strategy_pick];
+
+        let pfs = pfs_for_tests();
+        let alone_a = Session::run_alone(a.clone(), pfs.clone()).unwrap();
+        let alone_b = Session::run_alone(b.clone(), pfs.clone()).unwrap();
+        let report = Session::run(
+            SessionConfig::new(pfs, vec![a.clone(), b.clone()]).with_strategy(strategy),
+        ).unwrap();
+
+        let ra = report.app(AppId(0)).unwrap();
+        let rb = report.app(AppId(1)).unwrap();
+        // No application is faster than alone (within a small tolerance).
+        prop_assert!(ra.first_phase().io_time() >= alone_a * 0.999);
+        prop_assert!(rb.first_phase().io_time() >= alone_b * 0.999);
+        // Every byte accounted for.
+        prop_assert!((ra.first_phase().bytes - a.bytes_per_phase()).abs() < 1.0);
+        prop_assert!((rb.first_phase().bytes - b.bytes_per_phase()).abs() < 1.0);
+        // The makespan never exceeds full serialization of both phases plus
+        // the start offset (coordination never idles the file system while
+        // work is pending).
+        let serial_bound = alone_a + alone_b + dt + 1.0;
+        prop_assert!(
+            report.makespan.as_secs() <= serial_bound * 1.6,
+            "makespan {} vs serial bound {}",
+            report.makespan.as_secs(),
+            serial_bound
+        );
+    }
+}
