@@ -180,9 +180,10 @@ fn bench_fig10_granularity(c: &mut Criterion) {
             let a = AppConfig::new(AppId(0), "A", 2048, pattern).with_files(4);
             let b = AppConfig::new(AppId(1), "B", 2048, pattern).with_files(1);
             bench.iter(|| {
-                let cfg = DeltaSweepConfig::new(PfsConfig::surveyor(), a.clone(), b.clone(), vec![6.0])
-                    .with_strategy(Strategy::Interrupt)
-                    .with_granularity(granularity);
+                let cfg =
+                    DeltaSweepConfig::new(PfsConfig::surveyor(), a.clone(), b.clone(), vec![6.0])
+                        .with_strategy(Strategy::Interrupt)
+                        .with_granularity(granularity);
                 black_box(run_delta_sweep(&cfg).unwrap().points[0].b_io_time)
             })
         });

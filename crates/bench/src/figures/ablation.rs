@@ -47,10 +47,9 @@ pub fn run_gamma(quick: bool) -> FigureOutput {
             (Strategy::Interfere, &mut interfering),
             (Strategy::FcfsSerialize, &mut serialized),
         ] {
-            let report = Session::run(
-                SessionConfig::new(pfs.clone(), equal_pair()).with_strategy(strategy),
-            )
-            .expect("gamma ablation run");
+            let report =
+                Session::run(SessionConfig::new(pfs.clone(), equal_pair()).with_strategy(strategy))
+                    .expect("gamma ablation run");
             series.push(gamma, report.makespan.as_secs());
         }
     }
@@ -166,7 +165,10 @@ mod tests {
         let series = &out.figures[0].series[0];
         let proportional = series.y_at(0.0).unwrap();
         let app_fair = series.y_at(1.0).unwrap();
-        assert!(proportional > 2.0 * app_fair, "{proportional} vs {app_fair}");
+        assert!(
+            proportional > 2.0 * app_fair,
+            "{proportional} vs {app_fair}"
+        );
     }
 
     #[test]

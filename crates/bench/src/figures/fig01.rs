@@ -18,24 +18,25 @@ pub fn run(quick: bool) -> FigureOutput {
     };
     let trace = generate(&cfg);
 
-    let mut out = FigureOutput::new("Figure 1 — job sizes and concurrency on an Intrepid-like trace");
+    let mut out =
+        FigureOutput::new("Figure 1 — job sizes and concurrency on an Intrepid-like trace");
 
     // Panel (a): job-size histogram (% of jobs) and CDF.
     let mut hist = Series::new("% of jobs (histogram)");
     let mut cdf = Series::new("% of jobs (CDF)");
     let mut acc = 0.0;
     for (size, _) in SIZE_BUCKETS {
-        let in_bucket = trace
-            .jobs()
-            .iter()
-            .filter(|j| j.procs == size)
-            .count() as f64
+        let in_bucket = trace.jobs().iter().filter(|j| j.procs == size).count() as f64
             / trace.len().max(1) as f64;
         acc += in_bucket;
         hist.push(size as f64, 100.0 * in_bucket);
         cdf.push(size as f64, 100.0 * acc);
     }
-    let mut panel_a = FigureData::new("Figure 1(a) — distribution of job sizes", "cores", "% of jobs");
+    let mut panel_a = FigureData::new(
+        "Figure 1(a) — distribution of job sizes",
+        "cores",
+        "% of jobs",
+    );
     panel_a.add_series(hist);
     panel_a.add_series(cdf);
     out.figures.push(panel_a);
@@ -82,7 +83,10 @@ mod tests {
         assert_eq!(out.figures.len(), 2);
         let cdf = out.figures[0].series("% of jobs (CDF)").unwrap();
         let last = cdf.points.last().unwrap().1;
-        assert!((last - 100.0).abs() < 1.0, "CDF should end near 100%, got {last}");
+        assert!(
+            (last - 100.0).abs() < 1.0,
+            "CDF should end near 100%, got {last}"
+        );
         assert!(!out.figures[1].series[0].points.is_empty());
     }
 }

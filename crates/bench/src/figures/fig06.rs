@@ -77,7 +77,11 @@ mod tests {
         let out = run(true);
         let small = out.figures[1].series("24 cores").unwrap();
         let big = out.figures[0].series("744 cores").unwrap();
-        assert!(small.max_y().unwrap() > 5.0, "small max {:?}", small.max_y());
+        assert!(
+            small.max_y().unwrap() > 5.0,
+            "small max {:?}",
+            small.max_y()
+        );
         assert!(big.max_y().unwrap() < 3.0, "big max {:?}", big.max_y());
         // Left side of the Δ-graph (B writes first): B barely impacted.
         let first_x = out.figures[1].x_values()[0];

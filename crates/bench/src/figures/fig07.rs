@@ -89,17 +89,35 @@ mod tests {
         let a2048 = &out.figures[0];
         let a1024 = &out.figures[1];
         // 2048 cores: at dt=0 interference is close to the expected doubling.
-        let interf = a2048.series("App B (interfering)").unwrap().y_at(0.0).unwrap();
+        let interf = a2048
+            .series("App B (interfering)")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
         let expected = a2048.series("Expected").unwrap().y_at(0.0).unwrap();
-        assert!(interf > 0.85 * expected, "interf={interf} expected={expected}");
+        assert!(
+            interf > 0.85 * expected,
+            "interf={interf} expected={expected}"
+        );
         // 1024 cores: observed interference is clearly lower than expected.
-        let interf = a1024.series("App B (interfering)").unwrap().y_at(0.0).unwrap();
+        let interf = a1024
+            .series("App B (interfering)")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
         let expected = a1024.series("Expected").unwrap().y_at(0.0).unwrap();
-        assert!(interf < 0.85 * expected, "interf={interf} expected={expected}");
+        assert!(
+            interf < 0.85 * expected,
+            "interf={interf} expected={expected}"
+        );
         // FCFS protects the first arriver at positive dt.
         let x = *a2048.x_values().last().unwrap();
         let a_fcfs = a2048.series("App A (fcfs)").unwrap().y_at(x).unwrap();
-        let a_interf = a2048.series("App A (interfering)").unwrap().y_at(x).unwrap();
+        let a_interf = a2048
+            .series("App A (interfering)")
+            .unwrap()
+            .y_at(x)
+            .unwrap();
         assert!(a_fcfs <= a_interf + 1e-6);
     }
 }

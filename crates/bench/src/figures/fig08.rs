@@ -78,13 +78,8 @@ pub fn run(quick: bool) -> FigureOutput {
     let scenarios: [(f64, Option<f64>); 3] = [(0.0, Some(5.0)), (1.0, Some(30.0)), (2.0, None)];
     for (x, dt) in scenarios {
         let dts = vec![dt.unwrap_or(500.0)];
-        let cfg = DeltaSweepConfig::new(
-            PfsConfig::surveyor(),
-            app_a.clone(),
-            app_b.clone(),
-            dts,
-        )
-        .with_strategy(Strategy::Interfere);
+        let cfg = DeltaSweepConfig::new(PfsConfig::surveyor(), app_a.clone(), app_b.clone(), dts)
+            .with_strategy(Strategy::Interfere);
         let sweep = run_delta_sweep(&cfg).expect("figure 8b run");
         let p = &sweep.points[0];
         comm.push(x, p.a_comm_seconds);

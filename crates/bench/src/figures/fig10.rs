@@ -47,8 +47,16 @@ pub fn run(quick: bool) -> FigureOutput {
     let cases: [(Strategy, Granularity, &str); 4] = [
         (Strategy::Interfere, Granularity::Round, "Interfering"),
         (Strategy::FcfsSerialize, Granularity::Round, "FCFS"),
-        (Strategy::Interrupt, Granularity::File, "File-level interruption"),
-        (Strategy::Interrupt, Granularity::Round, "Round-level interruption"),
+        (
+            Strategy::Interrupt,
+            Granularity::File,
+            "File-level interruption",
+        ),
+        (
+            Strategy::Interrupt,
+            Granularity::Round,
+            "Round-level interruption",
+        ),
     ];
     let mut notes = Vec::new();
     for (strategy, granularity, label) in cases {
@@ -140,6 +148,9 @@ mod tests {
             .unwrap();
         // A pays for B's access either way; interruption should not be much
         // worse than interference for A.
-        assert!(round < 1.3 * interfering, "round {round} vs interfering {interfering}");
+        assert!(
+            round < 1.3 * interfering,
+            "round {round} vs interfering {interfering}"
+        );
     }
 }

@@ -80,9 +80,10 @@ mod tests {
         }
         // And it should be a strict improvement somewhere in the overlap
         // region.
-        let improved = without.points.iter().any(|&(x, y_without)| {
-            with.y_at(x).map(|y| y < 0.95 * y_without).unwrap_or(false)
-        });
+        let improved = without
+            .points
+            .iter()
+            .any(|&(x, y_without)| with.y_at(x).map(|y| y < 0.95 * y_without).unwrap_or(false));
         assert!(improved, "CALCioM should improve the metric for some dt");
     }
 }

@@ -91,6 +91,9 @@ mod tests {
         );
         // FCFS is a genuinely bad deal for B at this scale: clearly worse
         // than just interfering.
-        assert!(fcfs > 1.15 * interfering, "fcfs {fcfs} vs interfering {interfering}");
+        assert!(
+            fcfs > 1.15 * interfering,
+            "fcfs {fcfs} vs interfering {interfering}"
+        );
     }
 }

@@ -20,7 +20,8 @@ pub fn run(quick: bool) -> FigureOutput {
     let trace = generate(&cfg);
     let dist = ConcurrencyDistribution::from_trace(&trace);
 
-    let mut out = FigureOutput::new("Section II-B — probability that another application is doing I/O");
+    let mut out =
+        FigureOutput::new("Section II-B — probability that another application is doing I/O");
     let mut fig = FigureData::new(
         "P(another application is doing I/O) versus E[µ]",
         "E[µ] (fraction of time in I/O)",

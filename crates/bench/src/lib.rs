@@ -17,11 +17,14 @@ pub mod figures;
 
 pub use figures::FigureOutput;
 
+/// A figure experiment entry point: `quick` in, rendered output out.
+pub type ExperimentFn = fn(bool) -> FigureOutput;
+
 /// All figure experiments, in paper order, as `(identifier, runner)` pairs.
 /// Used by the `all_figures` binary and by integration tests.
-pub fn all_experiments() -> Vec<(&'static str, fn(bool) -> FigureOutput)> {
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("fig01_workload", figures::fig01::run as fn(bool) -> FigureOutput),
+        ("fig01_workload", figures::fig01::run as ExperimentFn),
         ("sec2b_probability", figures::sec2b::run),
         ("fig02_delta_equal", figures::fig02::run),
         ("fig03_cache", figures::fig03::run),
@@ -35,6 +38,9 @@ pub fn all_experiments() -> Vec<(&'static str, fn(bool) -> FigureOutput)> {
         ("fig12_delay", figures::fig12::run),
         ("ablation_gamma", figures::ablation::run_gamma),
         ("ablation_share_policy", figures::ablation::run_share_policy),
-        ("ablation_coordination_overhead", figures::ablation::run_overhead),
+        (
+            "ablation_coordination_overhead",
+            figures::ablation::run_overhead,
+        ),
     ]
 }

@@ -1,0 +1,65 @@
+//! Smoke test over every figure reproduction: each `fig*` / ablation
+//! experiment must run (in quick mode) without panicking and produce
+//! non-empty, finite series — the invariant the `src/bin/fig*` binaries
+//! rely on when they print tables.
+
+use calciom_bench::all_experiments;
+
+#[test]
+fn every_figure_produces_finite_nonempty_series() {
+    let experiments = all_experiments();
+    assert!(
+        experiments.len() >= 13,
+        "expected every fig*/sec2b/ablation experiment to be registered, got {}",
+        experiments.len()
+    );
+    for (name, runner) in experiments {
+        let out = runner(true);
+        assert!(!out.id.is_empty(), "{name}: empty figure id");
+        assert!(!out.figures.is_empty(), "{name}: no panels produced");
+        for fig in &out.figures {
+            assert!(
+                !fig.series.is_empty(),
+                "{name} / {}: panel has no series",
+                fig.title
+            );
+            for series in &fig.series {
+                assert!(
+                    !series.points.is_empty(),
+                    "{name} / {} / {}: series has no points",
+                    fig.title,
+                    series.label
+                );
+                for &(x, y) in &series.points {
+                    assert!(
+                        x.is_finite() && y.is_finite(),
+                        "{name} / {} / {}: non-finite point ({x}, {y})",
+                        fig.title,
+                        series.label
+                    );
+                }
+            }
+        }
+        // The rendered table is what the binaries print; it must be
+        // non-empty and carry the figure id.
+        let rendered = out.render();
+        assert!(rendered.contains(&out.id), "{name}: render lost the id");
+    }
+}
+
+#[test]
+fn quick_mode_is_a_reduced_sweep_not_a_different_experiment() {
+    // Quick mode must keep every panel and curve of the full experiment —
+    // only the x resolution may drop. Checked on one representative figure
+    // (fig02) to keep the smoke suite fast.
+    let quick = calciom_bench::figures::fig02::run(true);
+    assert!(!quick.figures.is_empty());
+    for fig in &quick.figures {
+        for series in &fig.series {
+            assert!(
+                series.points.len() >= 2,
+                "quick sweep should keep ≥2 points"
+            );
+        }
+    }
+}

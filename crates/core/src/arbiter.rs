@@ -249,7 +249,10 @@ mod tests {
     use mpiio::Granularity;
 
     fn arbiter(strategy: Strategy) -> Arbiter {
-        Arbiter::new(strategy, DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted))
+        Arbiter::new(
+            strategy,
+            DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+        )
     }
 
     fn info(app: usize, procs: u32, total: f64, remaining: f64) -> IoInfo {
@@ -352,7 +355,10 @@ mod tests {
         );
         arb.force_grant(AppId(1));
         assert!(arb.is_granted(AppId(1)));
-        assert!(arb.is_granted(AppId(0)), "both overlap after the delay expires");
+        assert!(
+            arb.is_granted(AppId(0)),
+            "both overlap after the delay expires"
+        );
         assert!(arb.parked().is_empty());
     }
 

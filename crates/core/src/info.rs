@@ -65,7 +65,10 @@ impl IoInfo {
         map.insert("files_total".into(), self.files_total.to_string());
         map.insert("rounds_total".into(), self.rounds_total.to_string());
         map.insert("bytes_total".into(), format!("{}", self.bytes_total));
-        map.insert("bytes_remaining".into(), format!("{}", self.bytes_remaining));
+        map.insert(
+            "bytes_remaining".into(),
+            format!("{}", self.bytes_remaining),
+        );
         map.insert(
             "est_alone_total_secs".into(),
             format!("{}", self.est_alone_total_secs),
@@ -82,10 +85,13 @@ impl IoInfo {
     /// Parses the flat representation produced by [`IoInfo::to_pairs`].
     pub fn from_pairs(pairs: &BTreeMap<String, String>) -> Result<Self, String> {
         fn get<'a>(m: &'a BTreeMap<String, String>, k: &str) -> Result<&'a str, String> {
-            m.get(k).map(|s| s.as_str()).ok_or_else(|| format!("missing key '{k}'"))
+            m.get(k)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("missing key '{k}'"))
         }
         fn parse<T: std::str::FromStr>(s: &str, k: &str) -> Result<T, String> {
-            s.parse().map_err(|_| format!("invalid value for '{k}': {s}"))
+            s.parse()
+                .map_err(|_| format!("invalid value for '{k}': {s}"))
         }
         let granularity = match get(pairs, "granularity")? {
             "phase" => Granularity::Phase,

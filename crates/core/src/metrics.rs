@@ -150,7 +150,10 @@ mod tests {
         let labels: Vec<&str> = EfficiencyMetric::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), 3);
         assert_eq!(
-            labels.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            labels
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
             3
         );
     }

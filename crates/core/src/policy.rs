@@ -72,9 +72,7 @@ impl DynamicPolicy {
         match self.metric {
             EfficiencyMetric::TotalIoTime => 1.0,
             EfficiencyMetric::CpuSecondsWasted => info.procs as f64,
-            EfficiencyMetric::SumInterferenceFactors => {
-                1.0 / info.est_alone_total_secs.max(1e-9)
-            }
+            EfficiencyMetric::SumInterferenceFactors => 1.0 / info.est_alone_total_secs.max(1e-9),
         }
     }
 
@@ -137,8 +135,8 @@ impl DynamicPolicy {
             (finish_a + (t_r - done_r).max(0.0), finish_a)
         };
 
-        let acc_weight: f64 = accessors.iter().map(|a| self.weight(a)).sum::<f64>()
-            / accessors.len() as f64;
+        let acc_weight: f64 =
+            accessors.iter().map(|a| self.weight(a)).sum::<f64>() / accessors.len() as f64;
         self.weight(requester) * (obs_r - t_r).max(0.0) + acc_weight * (obs_a - t_a).max(0.0)
     }
 
@@ -216,7 +214,10 @@ mod tests {
         // Early arrival: A has written little, remaining 25 s > T_B → interrupt.
         let b = info(1, 2048, t_b_alone, t_b_alone);
         let a_early = info(0, 2048, t_a_alone, 25.0);
-        assert_eq!(policy.decide(&b, &[a_early]), DynDecision::InterruptAccessors);
+        assert_eq!(
+            policy.decide(&b, &[a_early]),
+            DynDecision::InterruptAccessors
+        );
         // Late arrival (dt > T_A − T_B = 21 s): remaining < 7 s → FCFS.
         let a_late = info(0, 2048, t_a_alone, 5.0);
         assert_eq!(policy.decide(&b, &[a_late]), DynDecision::WaitFcfs);
@@ -234,7 +235,7 @@ mod tests {
         let big_mid_write = info(0, 744, 12.0, 8.0);
         // interrupt cost = 744 × 2 = 1488; fcfs cost = 24 × 8 = 192 → wait.
         assert_eq!(
-            policy.decide(&small, &[big_mid_write.clone()]),
+            policy.decide(&small, std::slice::from_ref(&big_mid_write)),
             DynDecision::WaitFcfs
         );
 
@@ -254,7 +255,10 @@ mod tests {
         let policy = DynamicPolicy::new(EfficiencyMetric::SumInterferenceFactors);
         let small = info(1, 24, 2.0, 2.0);
         let big = info(0, 744, 12.0, 10.0);
-        assert_eq!(policy.decide(&small, &[big]), DynDecision::InterruptAccessors);
+        assert_eq!(
+            policy.decide(&small, &[big]),
+            DynDecision::InterruptAccessors
+        );
     }
 
     #[test]
@@ -262,7 +266,10 @@ mod tests {
         let policy = DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted);
         let b = info(1, 100, 3.0, 3.0);
         let a = info(0, 200, 10.0, 6.0);
-        assert_eq!(policy.extra_cost_fcfs(&b, &[a.clone()]), 100.0 * 6.0);
+        assert_eq!(
+            policy.extra_cost_fcfs(&b, std::slice::from_ref(&a)),
+            100.0 * 6.0
+        );
         assert_eq!(policy.extra_cost_interrupt(&b, &[a]), 200.0 * 3.0);
     }
 

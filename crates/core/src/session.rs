@@ -554,10 +554,8 @@ impl Session {
                         let rt = self.apps.get_mut(&app).expect("known app");
                         rt.state = RtState::WantAccess;
                         rt.wait_started = Some(now);
-                        self.queue.schedule(
-                            now + SimDuration::from_secs(secs),
-                            Event::DelayExpired(app),
-                        );
+                        self.queue
+                            .schedule(now + SimDuration::from_secs(secs), Event::DelayExpired(app));
                         return;
                     }
                 }
@@ -596,7 +594,10 @@ impl Session {
             if rt.io_first_step.is_none() {
                 rt.io_first_step = Some(now);
             }
-            (rt.plan.step(rt.step).copied().expect("step exists").kind, rt.cfg.procs)
+            (
+                rt.plan.step(rt.step).copied().expect("step exists").kind,
+                rt.cfg.procs,
+            )
         };
 
         match kind {
@@ -641,9 +642,7 @@ impl Session {
             let more = rt.phase < rt.cfg.phases;
             let next_start = if more {
                 let scheduled = rt.cfg.start
-                    + SimDuration::from_secs(
-                        rt.cfg.phase_interval.as_secs() * rt.phase as f64,
-                    );
+                    + SimDuration::from_secs(rt.cfg.phase_interval.as_secs() * rt.phase as f64);
                 scheduled.max(now)
             } else {
                 now
@@ -753,8 +752,8 @@ mod tests {
     #[test]
     fn interrupt_impacts_only_the_first_application() {
         // A big (many files), B small; B arrives later and interrupts A.
-        let a = AppConfig::new(AppId(0), "A", 336, AccessPattern::contiguous(16.0 * MB))
-            .with_files(4);
+        let a =
+            AppConfig::new(AppId(0), "A", 336, AccessPattern::contiguous(16.0 * MB)).with_files(4);
         let b = app(1, "B", 336, 16.0, 3.0);
         let alone_a = Session::run_alone(a.clone(), rennes()).unwrap();
         let alone_b = Session::run_alone(b.clone(), rennes()).unwrap();
@@ -779,13 +778,11 @@ mod tests {
     fn serialization_beats_interference_in_aggregate() {
         let apps = vec![app(0, "A", 384, 16.0, 0.0), app(1, "B", 384, 16.0, 1.0)];
         let interfering = Session::run(SessionConfig::new(rennes(), apps.clone())).unwrap();
-        let fcfs = Session::run(
-            SessionConfig::new(rennes(), apps).with_strategy(Strategy::FcfsSerialize),
-        )
-        .unwrap();
-        let sum = |r: &SessionReport| -> f64 {
-            r.apps.iter().map(|a| a.first_phase().io_time()).sum()
-        };
+        let fcfs =
+            Session::run(SessionConfig::new(rennes(), apps).with_strategy(Strategy::FcfsSerialize))
+                .unwrap();
+        let sum =
+            |r: &SessionReport| -> f64 { r.apps.iter().map(|a| a.first_phase().io_time()).sum() };
         assert!(
             sum(&fcfs) < sum(&interfering),
             "fcfs={} interfering={}",
@@ -797,8 +794,8 @@ mod tests {
     #[test]
     fn dynamic_never_worse_than_both_fixed_choices() {
         // Fig. 11 setup (scaled down): equal core counts, A writes 4× B.
-        let a = AppConfig::new(AppId(0), "A", 512, AccessPattern::contiguous(16.0 * MB))
-            .with_files(4);
+        let a =
+            AppConfig::new(AppId(0), "A", 512, AccessPattern::contiguous(16.0 * MB)).with_files(4);
         let b = app(1, "B", 512, 16.0, 4.0);
         let alone: BTreeMap<AppId, f64> = [
             (AppId(0), Session::run_alone(a.clone(), rennes()).unwrap()),

@@ -67,7 +67,11 @@ fn run_point(cfg: &SizeSweepConfig, b_procs: u32) -> Result<SizeSweepPoint, Stri
 
     let throughput_alone = |app: &AppConfig| -> Result<f64, String> {
         let t = Session::run_alone(app.clone(), cfg.pfs.clone())?;
-        Ok(if t > 0.0 { app.bytes_per_phase() / t } else { 0.0 })
+        Ok(if t > 0.0 {
+            app.bytes_per_phase() / t
+        } else {
+            0.0
+        })
     };
     let a_alone_throughput = throughput_alone(&app_a)?;
     let b_alone_throughput = throughput_alone(&app_b)?;

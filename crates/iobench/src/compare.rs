@@ -156,7 +156,11 @@ mod tests {
         let cmp = compare_strategies(
             &pfs,
             &apps,
-            &[Strategy::Interfere, Strategy::FcfsSerialize, Strategy::Interrupt],
+            &[
+                Strategy::Interfere,
+                Strategy::FcfsSerialize,
+                Strategy::Interrupt,
+            ],
             Granularity::Round,
             DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
         )

@@ -168,6 +168,59 @@ mod tests {
     }
 
     #[test]
+    fn dt_larger_than_either_access_means_no_interaction() {
+        // Degenerate sweeps reach dt values beyond both stand-alone times:
+        // the accesses never overlap and both keep their alone time, in
+        // either arrival order.
+        for (ta, tb) in [(10.0, 3.0), (3.0, 10.0), (7.0, 7.0)] {
+            for dt in [10.0 + 1e-9, 15.0, 1e6] {
+                let e = expected_times(ta, tb, dt, 336.0, 8.0);
+                assert!(close(e.a, ta), "ta={ta} tb={tb} dt={dt}: a={}", e.a);
+                assert!(close(e.b, tb), "ta={ta} tb={tb} dt={dt}: b={}", e.b);
+                // Mirror: B first by more than either access.
+                let m = expected_times(ta, tb, -dt, 336.0, 8.0);
+                assert!(close(m.a, ta) && close(m.b, tb));
+            }
+        }
+    }
+
+    #[test]
+    fn dt_exactly_equal_to_first_access_is_the_boundary() {
+        // B arrives at the exact instant A finishes: zero overlap, both
+        // keep their alone times (the piecewise-linear curve's knee).
+        let e = expected_times(10.0, 4.0, 10.0, 1.0, 1.0);
+        assert!(close(e.a, 10.0));
+        assert!(close(e.b, 4.0));
+    }
+
+    #[test]
+    fn equal_weights_are_an_exact_half_split() {
+        // With equal weights the overlap is a strict 50/50 split whatever
+        // the absolute weight value: scaling both weights changes nothing.
+        let base = expected_times(10.0, 10.0, 4.0, 1.0, 1.0);
+        for w in [0.5, 8.0, 336.0, 2048.0] {
+            let e = expected_times(10.0, 10.0, 4.0, w, w);
+            assert!(close(e.a, base.a), "w={w}: a={}", e.a);
+            assert!(close(e.b, base.b), "w={w}: b={}", e.b);
+        }
+        // And the simultaneous equal case is exactly doubled time.
+        let e = expected_times(10.0, 10.0, 0.0, 2048.0, 2048.0);
+        assert!(close(e.a, 20.0) && close(e.b, 20.0));
+    }
+
+    #[test]
+    fn zero_length_accesses_are_degenerate_but_stable() {
+        // A has no work: B is unaffected; expected times stay finite and
+        // non-negative.
+        let e = expected_times(0.0, 10.0, 0.0, 1.0, 1.0);
+        assert!(close(e.a, 0.0));
+        assert!(close(e.b, 10.0));
+        // Both empty.
+        let e = expected_times(0.0, 0.0, 2.0, 1.0, 1.0);
+        assert!(close(e.a, 0.0) && close(e.b, 0.0));
+    }
+
+    #[test]
     fn factors_are_relative_to_alone_times() {
         let (fa, fb) = expected_factors(10.0, 10.0, 0.0, 1.0, 1.0);
         assert!(close(fa, 2.0));

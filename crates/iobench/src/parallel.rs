@@ -5,7 +5,7 @@
 //! figure-reproduction suite fast. The helper preserves input order and
 //! propagates panics.
 
-use crossbeam::thread;
+use std::thread;
 
 /// Applies `f` to every item of `items`, distributing the work over up to
 /// `max_threads` worker threads (or the number of available cores if 0),
@@ -31,7 +31,7 @@ where
     .max(1);
 
     if workers == 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(f).collect();
     }
 
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
@@ -48,14 +48,13 @@ where
             let (result_chunk, rest_results) = remaining_results.split_at_mut(take);
             remaining_items = rest_items;
             remaining_results = rest_results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, item) in result_chunk.iter_mut().zip(item_chunk) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("experiment worker thread panicked");
+    });
 
     results
         .into_iter()

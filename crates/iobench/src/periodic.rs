@@ -48,7 +48,10 @@ impl PeriodicResult {
     /// Smallest per-iteration throughput of application A (the collapsed
     /// iterations of Fig. 3b).
     pub fn a_min(&self) -> f64 {
-        self.a_throughputs.iter().copied().fold(f64::INFINITY, f64::min)
+        self.a_throughputs
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest per-iteration throughput of application A.

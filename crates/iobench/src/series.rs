@@ -197,7 +197,10 @@ mod tests {
         assert!(table.contains("Interfering"));
         assert!(table.contains("FCFS"));
         // FCFS has no point at dt = -5 → rendered as '-'.
-        let row = table.lines().find(|l| l.trim_start().starts_with("-5.00")).unwrap();
+        let row = table
+            .lines()
+            .find(|l| l.trim_start().starts_with("-5.00"))
+            .unwrap();
         assert!(row.trim_end().ends_with('-'));
     }
 

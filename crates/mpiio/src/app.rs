@@ -197,8 +197,8 @@ mod tests {
 
     #[test]
     fn bytes_per_phase_counts_files() {
-        let app = AppConfig::new(AppId(0), "A", 2048, AccessPattern::contiguous(4.0 * MB))
-            .with_files(4);
+        let app =
+            AppConfig::new(AppId(0), "A", 2048, AccessPattern::contiguous(4.0 * MB)).with_files(4);
         assert_eq!(app.bytes_per_phase(), 2048.0 * 4.0 * MB * 4.0);
     }
 

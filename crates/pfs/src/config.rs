@@ -70,16 +70,16 @@ impl PfsConfig {
         if self.num_servers == 0 {
             return Err("num_servers must be at least 1".into());
         }
-        if !(self.server_bw > 0.0) {
+        if self.server_bw.is_nan() || self.server_bw <= 0.0 {
             return Err("server_bw must be positive".into());
         }
         if !(self.interference_gamma > 0.0 && self.interference_gamma <= 1.0) {
             return Err("interference_gamma must be in (0, 1]".into());
         }
-        if !(self.process_link_bw > 0.0) {
+        if self.process_link_bw.is_nan() || self.process_link_bw <= 0.0 {
             return Err("process_link_bw must be positive".into());
         }
-        if !(self.interconnect_bw > 0.0) {
+        if self.interconnect_bw.is_nan() || self.interconnect_bw <= 0.0 {
             return Err("interconnect_bw must be positive (use f64::INFINITY to disable)".into());
         }
         if let Some(c) = &self.cache {
@@ -104,14 +104,14 @@ impl PfsConfig {
     pub fn surveyor() -> Self {
         PfsConfig {
             num_servers: 4,
-            server_bw: 1.0e9,           // 1 GB/s per server, ~4 GB/s aggregate
+            server_bw: 1.0e9, // 1 GB/s per server, ~4 GB/s aggregate
             cache: None,
             interference_gamma: 0.85,
             // 2.5 MB/s injection per process: 1024-process applications are
             // client-limited (the Fig. 7b regime where interference is lower
             // than expected), 2048-process ones saturate the file system.
             process_link_bw: 2.5e6,
-            interconnect_bw: 16.0e9,    // tree network ceiling
+            interconnect_bw: 16.0e9, // tree network ceiling
             share_policy: SharePolicy::ProportionalToProcesses,
         }
     }
@@ -122,10 +122,10 @@ impl PfsConfig {
     pub fn grid5000_rennes() -> Self {
         PfsConfig {
             num_servers: 12,
-            server_bw: 70.0e6,          // ~70 MB/s per local disk
+            server_bw: 70.0e6, // ~70 MB/s per local disk
             cache: None,
             interference_gamma: 0.85,
-            process_link_bw: 12.0e6,    // IB link share per process
+            process_link_bw: 12.0e6, // IB link share per process
             interconnect_bw: 10.0e9,
             share_policy: SharePolicy::ProportionalToProcesses,
         }
@@ -170,22 +170,30 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = PfsConfig::default();
-        c.num_servers = 0;
+        let c = PfsConfig {
+            num_servers: 0,
+            ..PfsConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = PfsConfig::default();
-        c.server_bw = 0.0;
+        let c = PfsConfig {
+            server_bw: 0.0,
+            ..PfsConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = PfsConfig::default();
-        c.interference_gamma = 0.0;
+        let mut c = PfsConfig {
+            interference_gamma: 0.0,
+            ..PfsConfig::default()
+        };
         assert!(c.validate().is_err());
         c.interference_gamma = 1.5;
         assert!(c.validate().is_err());
 
-        let mut c = PfsConfig::default();
-        c.process_link_bw = -1.0;
+        let c = PfsConfig {
+            process_link_bw: -1.0,
+            ..PfsConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = PfsConfig::grid5000_nancy();

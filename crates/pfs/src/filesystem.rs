@@ -282,11 +282,7 @@ impl Pfs {
 
     /// Applications with at least one active stream on at least one server.
     pub fn active_apps(&self) -> Vec<AppId> {
-        let mut apps: Vec<AppId> = self
-            .servers
-            .iter()
-            .flat_map(|s| s.active_apps())
-            .collect();
+        let mut apps: Vec<AppId> = self.servers.iter().flat_map(|s| s.active_apps()).collect();
         apps.sort_unstable();
         apps.dedup();
         apps
@@ -531,7 +527,10 @@ mod tests {
         assert!(pfs.is_complete(small));
         let p = pfs.progress(small).unwrap();
         let dur = p.completed.unwrap().saturating_since(p.started).as_secs();
-        assert!(dur > 0.5, "small app should be heavily slowed down, got {dur}");
+        assert!(
+            dur > 0.5,
+            "small app should be heavily slowed down, got {dur}"
+        );
         assert!(pfs.is_complete(big));
     }
 
@@ -623,7 +622,10 @@ mod tests {
         assert!(pfs.is_complete(b));
         let p = pfs.progress(b).unwrap();
         let dur_b = p.completed.unwrap().saturating_since(p.started).as_secs();
-        assert!(dur_b > 10.0, "saturating burst should be disk-bound, got {dur_b}");
+        assert!(
+            dur_b > 10.0,
+            "saturating burst should be disk-bound, got {dur_b}"
+        );
     }
 
     #[test]

@@ -184,6 +184,9 @@ mod tests {
             ServerState::share_weight(SharePolicy::ProportionalToProcesses, 0),
             1.0
         );
-        assert_eq!(ServerState::share_weight(SharePolicy::EqualPerApplication, 336), 1.0);
+        assert_eq!(
+            ServerState::share_weight(SharePolicy::EqualPerApplication, 336),
+            1.0
+        );
     }
 }

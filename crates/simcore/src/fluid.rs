@@ -369,8 +369,7 @@ impl FluidNetwork {
             let before = unfrozen.len();
             unfrozen.retain(|id| {
                 let f = &self.flows[id];
-                let capped =
-                    f.spec.rate_cap.is_finite() && f.rate >= f.spec.rate_cap - EPS;
+                let capped = f.spec.rate_cap.is_finite() && f.rate >= f.spec.rate_cap - EPS;
                 let blocked = f.spec.constraints.iter().any(|c| saturated[c.0]);
                 !(capped || blocked)
             });
@@ -565,5 +564,116 @@ mod tests {
     fn uncapped_unconstrained_flow_panics() {
         let mut net = FluidNetwork::new();
         net.add_flow(FlowSpec::new(1.0, 1.0, f64::INFINITY, vec![]));
+    }
+
+    // --- Edge cases the property suite does not reach ---
+
+    #[test]
+    fn zero_byte_flow_consumes_no_bandwidth() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let empty = net.add_flow(FlowSpec::new(0.0, 5.0, f64::INFINITY, vec![server]));
+        let real = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![server]));
+        // The complete flow is excluded from the allocation: despite its
+        // larger weight the whole capacity goes to the active flow.
+        assert_eq!(net.rate(empty), 0.0);
+        assert!(approx(net.rate(real), 100.0));
+        assert!(net.completed_flows().contains(&empty));
+    }
+
+    #[test]
+    fn zero_byte_flow_survives_advance_and_removal() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let empty = net.add_flow(FlowSpec::new(0.0, 1.0, f64::INFINITY, vec![server]));
+        net.advance(SimDuration::from_secs(3.0));
+        let p = net.progress(empty).unwrap();
+        assert_eq!(p.remaining, 0.0);
+        assert_eq!(p.transferred, 0.0);
+        let removed = net.remove_flow(empty).unwrap();
+        assert_eq!(removed.transferred, 0.0);
+        assert_eq!(net.flow_count(), 0);
+    }
+
+    #[test]
+    fn constraint_free_flow_runs_at_its_cap() {
+        // A flow attached to no constraints is legal with a finite cap: it
+        // models a transfer limited only by the client-side link.
+        let mut net = FluidNetwork::new();
+        let f = net.add_flow(FlowSpec::new(120.0, 2.0, 40.0, vec![]));
+        assert!(approx(net.rate(f), 40.0));
+        let ttc = net.time_to_next_completion().unwrap();
+        assert!(approx(ttc.as_secs(), 3.0));
+        net.advance(ttc);
+        assert!(net.is_complete(f));
+    }
+
+    #[test]
+    fn constraint_free_flows_do_not_contend() {
+        let mut net = FluidNetwork::new();
+        let a = net.add_flow(FlowSpec::new(1e6, 1.0, 30.0, vec![]));
+        let b = net.add_flow(FlowSpec::new(1e6, 9.0, 50.0, vec![]));
+        // No shared constraint: each runs at its own cap, weights are moot.
+        assert!(approx(net.rate(a), 30.0));
+        assert!(approx(net.rate(b), 50.0));
+    }
+
+    #[test]
+    fn infinite_capacity_constraint_never_binds() {
+        let mut net = FluidNetwork::new();
+        let infinite = net.add_constraint(f64::INFINITY);
+        let narrow = net.add_constraint(25.0);
+        let capped = net.add_flow(FlowSpec::new(1e6, 1.0, 10.0, vec![infinite]));
+        let through_narrow = net.add_flow(FlowSpec::new(
+            1e6,
+            1.0,
+            f64::INFINITY,
+            vec![infinite, narrow],
+        ));
+        // The infinite constraint limits nobody: the first flow hits its own
+        // cap, the second saturates the narrow server.
+        assert!(approx(net.rate(capped), 10.0));
+        assert!(approx(net.rate(through_narrow), 25.0));
+    }
+
+    #[test]
+    fn uncapped_flow_on_infinite_constraint_is_starved_not_stuck() {
+        // Degenerate: no finite cap and no finite constraint. The allocator
+        // cannot assign a finite rate; it must terminate with rate 0 while
+        // still serving well-posed flows correctly.
+        let mut net = FluidNetwork::new();
+        let infinite = net.add_constraint(f64::INFINITY);
+        let unbounded = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![infinite]));
+        assert_eq!(net.rate(unbounded), 0.0);
+        assert!(net.time_to_next_completion().is_none());
+        // Advancing past this state neither panics nor creates bytes.
+        net.advance(SimDuration::from_secs(1.0));
+        let p = net.progress(unbounded).unwrap();
+        assert_eq!(p.transferred, 0.0);
+        assert!(approx(p.remaining, 1e6));
+    }
+
+    #[test]
+    fn advance_past_all_completions_is_a_fixpoint() {
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(100.0);
+        let a = net.add_flow(FlowSpec::new(50.0, 1.0, f64::INFINITY, vec![server]));
+        let b = net.add_flow(FlowSpec::new(150.0, 1.0, f64::INFINITY, vec![server]));
+        // One giant step completes everything at once (rates are held for
+        // the whole step; both flows clamp at zero remaining).
+        net.advance(SimDuration::from_secs(1_000.0));
+        assert!(net.is_complete(a) && net.is_complete(b));
+        assert_eq!(net.completed_flows().len(), 2);
+        assert!(net.time_to_next_completion().is_none());
+        assert_eq!(net.aggregate_rate(), 0.0);
+        // Further advancing is a no-op on progress.
+        let before_a = net.progress(a).unwrap();
+        let before_b = net.progress(b).unwrap();
+        net.advance(SimDuration::from_secs(1_000.0));
+        assert_eq!(net.progress(a).unwrap(), before_a);
+        assert_eq!(net.progress(b).unwrap(), before_b);
+        // And freed capacity is immediately available to a new flow.
+        let late = net.add_flow(FlowSpec::new(1e6, 1.0, f64::INFINITY, vec![server]));
+        assert!(approx(net.rate(late), 100.0));
     }
 }

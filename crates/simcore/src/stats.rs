@@ -282,7 +282,10 @@ mod tests {
         assert_eq!(h.bins(), &[2.0, 2.0, 0.0, 0.0, 1.0]);
         assert!((h.total_weight() - 7.0).abs() < 1e-12);
         let cdf = h.cdf();
-        assert!((cdf[4] - 6.0 / 7.0).abs() < 1e-12, "overflow not included in cdf");
+        assert!(
+            (cdf[4] - 6.0 / 7.0).abs() < 1e-12,
+            "overflow not included in cdf"
+        );
         let norm = h.normalized();
         assert!((norm.iter().sum::<f64>() - 5.0 / 7.0).abs() < 1e-12);
     }

@@ -14,11 +14,15 @@ pub const TICKS_PER_SEC: u64 = 1_000_000;
 
 /// An absolute simulated time stamp, in integer microseconds since the
 /// start of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A non-negative span of simulated time, in integer microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -207,7 +211,10 @@ mod tests {
 
     #[test]
     fn duration_helpers() {
-        assert_eq!(SimDuration::from_millis(1500.0), SimDuration::from_secs(1.5));
+        assert_eq!(
+            SimDuration::from_millis(1500.0),
+            SimDuration::from_secs(1.5)
+        );
         assert!(SimDuration::ZERO.is_zero());
         assert!(!SimDuration::from_ticks(1).is_zero());
         assert_eq!(

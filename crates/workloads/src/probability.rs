@@ -90,12 +90,57 @@ mod tests {
     fn more_io_time_or_more_jobs_increases_probability() {
         let light = ConcurrencyDistribution::from_probabilities(vec![0.5, 0.5]);
         let heavy = ConcurrencyDistribution::from_probabilities(vec![0.0, 0.0, 0.0, 1.0]);
-        assert!(
-            probability_concurrent_io(&light, 0.05) < probability_concurrent_io(&heavy, 0.05)
-        );
-        assert!(
-            probability_concurrent_io(&heavy, 0.02) < probability_concurrent_io(&heavy, 0.2)
-        );
+        assert!(probability_concurrent_io(&light, 0.05) < probability_concurrent_io(&heavy, 0.05));
+        assert!(probability_concurrent_io(&heavy, 0.02) < probability_concurrent_io(&heavy, 0.2));
+    }
+
+    #[test]
+    fn probability_is_bounded_in_unit_interval() {
+        // Section II-B output is a probability for every input, including
+        // out-of-range io fractions (which clamp) and degenerate
+        // distributions.
+        let dists = [
+            ConcurrencyDistribution::from_probabilities(vec![1.0]), // always idle
+            ConcurrencyDistribution::from_probabilities(vec![0.0, 1.0]),
+            ConcurrencyDistribution::from_probabilities(vec![0.1, 0.2, 0.3, 0.4]),
+        ];
+        for dist in &dists {
+            for mu in [-1.0, 0.0, 1e-6, 0.05, 0.5, 1.0, 2.5] {
+                let p = probability_concurrent_io(dist, mu);
+                assert!((0.0..=1.0).contains(&p), "mu={mu}: p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn probability_is_monotone_in_concurrency() {
+        // Shifting probability mass toward higher concurrency levels can
+        // only increase the chance that someone is doing I/O: P under
+        // X+1 dominates P under X for any fixed E[µ] in (0, 1).
+        let mu = 0.05;
+        let mut prev = -1.0;
+        for n in 0..40 {
+            // Point mass at exactly n concurrent jobs.
+            let mut probs = vec![0.0; n + 1];
+            probs[n] = 1.0;
+            let p =
+                probability_concurrent_io(&ConcurrencyDistribution::from_probabilities(probs), mu);
+            assert!(p >= prev - 1e-12, "n={n}: p={p} < prev={prev}");
+            prev = p;
+        }
+        // And the limit is certainty: with enough concurrent jobs the
+        // probability approaches 1.
+        assert!(prev > 0.85, "P at 39 concurrent jobs was only {prev}");
+    }
+
+    #[test]
+    fn empty_machine_never_interferes() {
+        // All mass at X = 0: nobody is running, so nobody does I/O,
+        // whatever the io fraction.
+        let dist = ConcurrencyDistribution::from_probabilities(vec![1.0]);
+        for mu in [0.0, 0.05, 1.0] {
+            assert_eq!(probability_concurrent_io(&dist, mu), 0.0);
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl Default for SyntheticTraceConfig {
             // shortened so the default generation stays fast while keeping
             // tens of concurrent jobs.
             mean_interarrival_secs: 600.0,
-            runtime_log_mean: 8.6,  // median ≈ 5.4 ks ≈ 1.5 h
+            runtime_log_mean: 8.6, // median ≈ 5.4 ks ≈ 1.5 h
             runtime_log_sigma: 1.3,
             seed: 42,
         }
@@ -135,14 +135,16 @@ mod tests {
         let frac = t.fraction_of_jobs_at_most(2048);
         assert!((0.42..=0.62).contains(&frac), "fraction was {frac}");
         let tw = t.time_weighted_fraction_at_most(2048);
-        assert!((0.35..=0.65).contains(&tw), "time-weighted fraction was {tw}");
+        assert!(
+            (0.35..=0.65).contains(&tw),
+            "time-weighted fraction was {tw}"
+        );
     }
 
     #[test]
     fn sizes_are_valid_buckets() {
         let t = generate(&small_cfg());
-        let valid: std::collections::BTreeSet<u32> =
-            SIZE_BUCKETS.iter().map(|(s, _)| *s).collect();
+        let valid: std::collections::BTreeSet<u32> = SIZE_BUCKETS.iter().map(|(s, _)| *s).collect();
         assert!(t.jobs().iter().all(|j| valid.contains(&j.procs)));
     }
 

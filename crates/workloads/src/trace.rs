@@ -41,7 +41,11 @@ pub struct JobTrace {
 impl JobTrace {
     /// Creates a trace from a list of jobs.
     pub fn new(mut jobs: Vec<Job>) -> Self {
-        jobs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap_or(std::cmp::Ordering::Equal));
+        jobs.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         JobTrace { jobs }
     }
 
@@ -62,10 +66,7 @@ impl JobTrace {
 
     /// Total core-seconds consumed by the trace.
     pub fn core_seconds(&self) -> f64 {
-        self.jobs
-            .iter()
-            .map(|j| j.procs as f64 * j.run_time)
-            .sum()
+        self.jobs.iter().map(|j| j.procs as f64 * j.run_time).sum()
     }
 
     /// Time span covered by the trace (first start to last end).
@@ -73,7 +74,11 @@ impl JobTrace {
         if self.jobs.is_empty() {
             return 0.0;
         }
-        let first = self.jobs.iter().map(|j| j.start).fold(f64::INFINITY, f64::min);
+        let first = self
+            .jobs
+            .iter()
+            .map(|j| j.start)
+            .fold(f64::INFINITY, f64::min);
         let last = self.jobs.iter().map(|j| j.end()).fold(0.0, f64::max);
         (last - first).max(0.0)
     }
@@ -153,10 +158,34 @@ mod tests {
 
     fn sample_trace() -> JobTrace {
         JobTrace::new(vec![
-            Job { id: 1, submit: 0.0, start: 0.0, run_time: 100.0, procs: 256 },
-            Job { id: 2, submit: 10.0, start: 20.0, run_time: 50.0, procs: 2048 },
-            Job { id: 3, submit: 30.0, start: 60.0, run_time: 200.0, procs: 8192 },
-            Job { id: 4, submit: 40.0, start: 90.0, run_time: 10.0, procs: 512 },
+            Job {
+                id: 1,
+                submit: 0.0,
+                start: 0.0,
+                run_time: 100.0,
+                procs: 256,
+            },
+            Job {
+                id: 2,
+                submit: 10.0,
+                start: 20.0,
+                run_time: 50.0,
+                procs: 2048,
+            },
+            Job {
+                id: 3,
+                submit: 30.0,
+                start: 60.0,
+                run_time: 200.0,
+                procs: 8192,
+            },
+            Job {
+                id: 4,
+                submit: 40.0,
+                start: 90.0,
+                run_time: 10.0,
+                procs: 512,
+            },
         ])
     }
 

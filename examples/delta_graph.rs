@@ -20,7 +20,11 @@ fn main() -> Result<(), String> {
         "dt (sec)",
         "interference factor",
     );
-    for strategy in [Strategy::Interfere, Strategy::FcfsSerialize, Strategy::Interrupt] {
+    for strategy in [
+        Strategy::Interfere,
+        Strategy::FcfsSerialize,
+        Strategy::Interrupt,
+    ] {
         let cfg = DeltaSweepConfig::new(
             PfsConfig::grid5000_rennes(),
             app_a.clone(),

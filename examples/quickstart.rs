@@ -24,7 +24,11 @@ fn main() -> Result<(), String> {
         (AppId(0), Session::run_alone(app_a.clone(), pfs.clone())?),
         (AppId(1), Session::run_alone(app_b.clone(), pfs.clone())?),
     ]);
-    println!("stand-alone write times: A = {:.2}s, B = {:.2}s", alone[&AppId(0)], alone[&AppId(1)]);
+    println!(
+        "stand-alone write times: A = {:.2}s, B = {:.2}s",
+        alone[&AppId(0)],
+        alone[&AppId(1)]
+    );
 
     for strategy in [
         Strategy::Interfere,

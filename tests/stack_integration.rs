@@ -61,13 +61,8 @@ fn fcfs_serialization_protects_the_first_arriver() {
     let pattern = AccessPattern::contiguous(32.0 * MB);
     let a = AppConfig::new(AppId(0), "A", 2048, pattern);
     let b = AppConfig::new(AppId(1), "B", 2048, pattern);
-    let cfg = DeltaSweepConfig::new(
-        PfsConfig::surveyor(),
-        a,
-        b,
-        dt_range(2.0, 10.0, 4.0),
-    )
-    .with_strategy(Strategy::FcfsSerialize);
+    let cfg = DeltaSweepConfig::new(PfsConfig::surveyor(), a, b, dt_range(2.0, 10.0, 4.0))
+        .with_strategy(Strategy::FcfsSerialize);
     let sweep = run_delta_sweep(&cfg).unwrap();
     for p in &sweep.points {
         assert!(
@@ -77,7 +72,12 @@ fn fcfs_serialization_protects_the_first_arriver() {
             p.a_io_time,
             sweep.a_alone
         );
-        assert!(p.b_io_time > sweep.b_alone * 1.3, "dt={}: B={}", p.dt, p.b_io_time);
+        assert!(
+            p.b_io_time > sweep.b_alone * 1.3,
+            "dt={}: B={}",
+            p.dt,
+            p.b_io_time
+        );
     }
 }
 
@@ -94,8 +94,14 @@ fn dynamic_choice_is_never_worse_than_fixed_strategies() {
         let mut b_dt = b.clone();
         b_dt.start = simcore::SimTime::from_secs(dt);
         let alone: BTreeMap<AppId, f64> = BTreeMap::from([
-            (AppId(0), Session::run_alone(a.clone(), pfs.clone()).unwrap()),
-            (AppId(1), Session::run_alone(b_dt.clone(), pfs.clone()).unwrap()),
+            (
+                AppId(0),
+                Session::run_alone(a.clone(), pfs.clone()).unwrap(),
+            ),
+            (
+                AppId(1),
+                Session::run_alone(b_dt.clone(), pfs.clone()).unwrap(),
+            ),
         ]);
         let metric = |strategy: Strategy| -> f64 {
             let cfg = SessionConfig::new(pfs.clone(), vec![a.clone(), b_dt.clone()])
@@ -149,8 +155,7 @@ fn bytes_written_are_conserved_across_strategies() {
         Strategy::Delay { max_wait_secs: 2.0 },
     ] {
         let report = Session::run(
-            SessionConfig::new(PfsConfig::grid5000_rennes(), apps.clone())
-                .with_strategy(strategy),
+            SessionConfig::new(PfsConfig::grid5000_rennes(), apps.clone()).with_strategy(strategy),
         )
         .unwrap();
         for (report_app, cfg) in report.apps.iter().zip(&apps) {

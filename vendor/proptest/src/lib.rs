@@ -1,0 +1,320 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface the workspace's
+//! property suites use: the [`proptest!`] macro, range / tuple / collection
+//! strategies, [`any`], `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic ChaCha
+//! stream whose seed mixes the property name, so failures reproduce
+//! exactly across runs; there is no shrinking — the failing inputs are
+//! printed instead.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Runner configuration, as in `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// A generator for the given property name and case index.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+
+    /// The underlying word stream.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.0
+    }
+}
+
+/// A value generator: the stand-in for `proptest::strategy::Strategy`.
+///
+/// Unlike the real crate there is no value tree / shrinking; `generate`
+/// directly produces a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// Types with a canonical "any value" strategy (`proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.rng().next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        use rand::RngCore;
+        rng.rng().next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        use rand::RngCore;
+        rng.rng().next_u32()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        use rand::RngCore;
+        rng.rng().next_u64()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values with length
+    /// in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.rng().gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirrors the real crate's `prop` path prefix (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `if cond {} else { panic }` rather than `if !cond` so that the
+        // macro stays NaN-correct and clean under clippy at expansion sites
+        // (`!(a >= b)` trips neg_cmp_op_on_partial_ord).
+        if $cond {
+        } else {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if $cond {
+        } else {
+            panic!("property assertion failed: {}: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a != *b {
+            panic!(
+                "property assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            panic!(
+                "property assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            );
+        }
+    }};
+}
+
+/// The `proptest!` block macro: expands each property into a `#[test]`
+/// that draws its arguments from the listed strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $( $arg in $strategy ),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.0f64..2.0, n in 3usize..9) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0.0f64..1.0, 1u32..4), flag in any::<bool>()) {
+            prop_assert!(pair.0 < 1.0);
+            prop_assert!(pair.1 >= 1);
+            let as_int = u8::from(flag);
+            prop_assert!(as_int <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("p", 3);
+        let mut b = crate::TestRng::for_case("p", 3);
+        let s = 0.0f64..1.0;
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+}

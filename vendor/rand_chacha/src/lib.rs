@@ -1,0 +1,125 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Provides a `ChaCha8Rng` type with the same name and seeding API as the
+//! real crate. The implementation is the real ChaCha stream cipher with 8
+//! rounds, but the output stream is NOT bit-compatible with the real
+//! crate: `seed_from_u64` here zero-pads the 32-byte key (the real crate
+//! expands the seed through SplitMix64) and words are consumed in a
+//! different order. Runs are deterministic per seed, which is all the
+//! workspace relies on — but swapping in the real `rand_chacha` changes
+//! every seeded stream, so seed-calibrated test bands (e.g. the synthetic
+//! trace fractions) may need re-tuning at that point.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, exposing a `u64` word stream.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state, as 16 little-endian u32 words.
+    state: [u32; 16],
+    /// Current 64-byte output block, as 16 u32 words.
+    block: [u32; 16],
+    /// Next word index within `block` (16 = exhausted).
+    index: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64) | ((self.state[13] as u64) << 32);
+        let counter = counter.wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4] = seed as u32;
+        state[5] = (seed >> 32) as u32;
+        // key words 6..12, counter 12..14 and nonce 14..16 start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn words_are_well_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mean: f64 = (0..10_000).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

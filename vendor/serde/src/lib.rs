@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds without network access. The repository uses serde
+//! only as `#[derive(Serialize, Deserialize)]` markers on config/result
+//! types (nothing is actually serialized yet), so this crate provides the
+//! two trait names and derives that emit empty marker impls. Swapping in
+//! the real serde later is a one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,107 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The workspace builds without network access, so the real serde cannot be
+//! fetched. The repository only ever uses `#[derive(Serialize, Deserialize)]`
+//! as a forward-compatibility marker — no code path serializes anything yet —
+//! so these derives simply emit marker-trait impls for the annotated type.
+//!
+//! Parsing is intentionally tiny: enough to recover the type name and the
+//! names of its generic parameters from the token stream, without `syn`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(type_name, generic_params)` from the tokens of a
+/// struct/enum/union definition, e.g. `pub struct Foo<T: Bound, 'a> { .. }`
+/// yields `("Foo", ["T", "'a"])`.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes, visibility and doc comments until the item keyword.
+    let mut name = String::new();
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = n.to_string();
+                }
+                break;
+            }
+        }
+    }
+    // Collect top-level generic parameter names inside `<...>`, if present.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            let mut lifetime = false;
+            for tt in iter.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                        lifetime = false;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        lifetime = true;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let s = id.to_string();
+                        if s == "const" {
+                            continue; // const generics: keep waiting for the name
+                        }
+                        generics.push(if lifetime { format!("'{s}") } else { s });
+                        expect_param = false;
+                        lifetime = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn impl_marker(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    if name.is_empty() {
+        return TokenStream::new();
+    }
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(generics.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    format!("impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits an empty marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Serialize", None)
+}
+
+/// No-op `Deserialize` derive: emits an empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Deserialize<'de>", Some("'de"))
+}
