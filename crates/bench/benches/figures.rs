@@ -9,7 +9,7 @@
 
 use calciom::{
     AccessPattern, AppConfig, AppId, DynamicPolicy, EfficiencyMetric, Granularity, PfsConfig,
-    Session, SessionConfig, Strategy,
+    Scenario, Strategy,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use iobench::{run_delta_sweep, run_periodic, DeltaSweepConfig, PeriodicConfig};
@@ -88,8 +88,9 @@ fn bench_fig04_size_sweep(c: &mut Criterion) {
                 AppConfig::new(AppId(0), "A", 336, pattern),
                 AppConfig::new(AppId(1), "B", 8, pattern),
             ];
-            let report =
-                Session::run(SessionConfig::new(PfsConfig::grid5000_rennes(), apps)).unwrap();
+            let report = Scenario::new(PfsConfig::grid5000_rennes(), apps)
+                .run()
+                .unwrap();
             black_box(report.app(AppId(1)).unwrap().first_phase().io_time())
         })
     });

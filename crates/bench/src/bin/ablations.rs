@@ -1,13 +1,19 @@
 //! Runs the ablation studies (locality penalty, share policy, coordination
-//! overhead). Pass `--quick` for reduced sweeps.
+//! overhead) through the experiment registry. Pass `--quick` for reduced
+//! sweeps.
 
-fn main() {
+use calciom_bench::Registry;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
-    for out in [
-        calciom_bench::figures::ablation::run_gamma(quick),
-        calciom_bench::figures::ablation::run_share_policy(quick),
-        calciom_bench::figures::ablation::run_overhead(quick),
-    ] {
-        println!("{}", out.render());
-    }
+    calciom_bench::cli::run_named(
+        &Registry::standard(),
+        &[
+            "ablation_gamma",
+            "ablation_share_policy",
+            "ablation_coordination_overhead",
+        ],
+        quick,
+    )
 }

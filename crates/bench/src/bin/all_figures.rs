@@ -1,13 +1,12 @@
-//! Regenerates every figure of the paper (plus the ablation studies) and
-//! prints the series each one plots. Pass `--quick` for reduced sweeps.
+//! Regenerates every figure of the paper (plus the ablation studies)
+//! through the experiment registry and prints the series each one plots.
 //!
+//! Usage: `all_figures [list] [--quick] [<experiment-name>...]` — no names
+//! runs everything in paper order; `list` prints the registered names.
 //! The output of a full run is the source for `EXPERIMENTS.md`.
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    for (name, runner) in calciom_bench::all_experiments() {
-        eprintln!("running {name} ...");
-        let out = runner(quick);
-        println!("{}", out.render());
-    }
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    calciom_bench::cli::all_figures_main()
 }

@@ -1,8 +1,8 @@
-//! Regenerates the data behind the paper's fig10 experiment.
-//! Pass `--quick` for a reduced sweep.
+//! Regenerates the data behind the paper's fig10_interrupt_granularity experiment through the
+//! experiment registry. Pass `--quick` for a reduced sweep.
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let out = calciom_bench::figures::fig10::run(quick);
-    println!("{}", out.render());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    calciom_bench::cli::figure_main("fig10_interrupt_granularity")
 }

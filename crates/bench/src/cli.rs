@@ -1,0 +1,73 @@
+//! Shared command-line entry points for the figure binaries.
+//!
+//! Every `src/bin/fig*` binary is a one-line call into [`figure_main`];
+//! the `all_figures` binary goes through [`all_figures_main`]. Both
+//! resolve experiments through the [`Registry`], so binaries never
+//! duplicate argument handling or experiment wiring.
+
+use crate::Registry;
+use std::process::ExitCode;
+
+/// Entry point of a single-figure binary: runs the named experiment,
+/// honouring a `--quick` argument for the reduced sweep.
+pub fn figure_main(name: &str) -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    run_named(&Registry::standard(), &[name], quick)
+}
+
+/// Runs the given experiments in order, printing each rendered figure.
+/// Stops with a failure exit code at the first unknown name or failed run.
+pub fn run_named(registry: &Registry, names: &[&str], quick: bool) -> ExitCode {
+    for name in names {
+        let Some(experiment) = registry.get(name) else {
+            eprintln!(
+                "unknown experiment '{name}'; run `all_figures list` for the available names"
+            );
+            return ExitCode::FAILURE;
+        };
+        match experiment.run(quick) {
+            Ok(output) => println!("{}", output.render()),
+            Err(error) => {
+                eprintln!("{name}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Entry point of the `all_figures` binary.
+///
+/// * `all_figures` — run every registered experiment in paper order;
+/// * `all_figures list` — print the registered names and descriptions;
+/// * `all_figures <name>...` — run the named experiments only;
+/// * `--quick` (combinable with the above) — reduced sweeps.
+pub fn all_figures_main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let registry = Registry::standard();
+
+    if args.iter().any(|a| a == "list") {
+        for experiment in registry.experiments() {
+            println!("{:<32} {}", experiment.name(), experiment.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| a.as_str() != "--quick")
+        .map(String::as_str)
+        .collect();
+    if names.is_empty() {
+        for name in registry.names() {
+            eprintln!("running {name} ...");
+            let code = run_named(&registry, &[name], quick);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    run_named(&registry, &names, quick)
+}

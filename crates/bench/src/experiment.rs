@@ -1,0 +1,158 @@
+//! The experiment registry.
+//!
+//! Every reproduced figure (and every ablation) is an [`Experiment`]: a
+//! named, self-describing runner that produces a [`FigureOutput`] or a
+//! typed [`calciom::Error`].
+//! The [`Registry`] is the one place experiments are registered; the
+//! `all_figures` binary, the per-figure binaries, the smoke tests and CI's
+//! `list` step all go through it, so a new workload only has to be added
+//! here to show up everywhere.
+
+use crate::figures;
+use crate::figures::FigureOutput;
+use calciom::Error;
+
+/// One named experiment: a figure of the paper or an ablation study.
+pub trait Experiment: Sync {
+    /// Stable identifier used to run the experiment by name
+    /// (e.g. `"fig07_fcfs"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `all_figures list`.
+    fn description(&self) -> &'static str;
+
+    /// Executes the experiment. `quick` runs the reduced parameter sweep
+    /// used in CI; `false` reproduces the figure at full resolution.
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error>;
+}
+
+/// The set of registered experiments, in paper order.
+pub struct Registry {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            experiments: Vec::new(),
+        }
+    }
+
+    /// The standard registry: the twelve figure experiments reproduced
+    /// from the paper (Figs. 1–12 and the Sec. II-B probability panel)
+    /// plus the three ablation studies, in paper order.
+    pub fn standard() -> Self {
+        let mut registry = Registry::new();
+        registry.register(Box::new(figures::fig01::Fig01));
+        registry.register(Box::new(figures::sec2b::Sec2b));
+        registry.register(Box::new(figures::fig02::Fig02));
+        registry.register(Box::new(figures::fig03::Fig03));
+        registry.register(Box::new(figures::fig04::Fig04));
+        registry.register(Box::new(figures::fig06::Fig06));
+        registry.register(Box::new(figures::fig07::Fig07));
+        registry.register(Box::new(figures::fig08::Fig08));
+        registry.register(Box::new(figures::fig09::Fig09));
+        registry.register(Box::new(figures::fig10::Fig10));
+        registry.register(Box::new(figures::fig11::Fig11));
+        registry.register(Box::new(figures::fig12::Fig12));
+        registry.register(Box::new(figures::ablation::AblationGamma));
+        registry.register(Box::new(figures::ablation::AblationSharePolicy));
+        registry.register(Box::new(figures::ablation::AblationOverhead));
+        registry
+    }
+
+    /// Adds an experiment. Panics on a duplicate name — names are the
+    /// lookup key of the whole harness.
+    pub fn register(&mut self, experiment: Box<dyn Experiment>) {
+        assert!(
+            self.get(experiment.name()).is_none(),
+            "duplicate experiment name '{}'",
+            experiment.name()
+        );
+        self.experiments.push(experiment);
+    }
+
+    /// The registered experiments, in registration (paper) order.
+    pub fn experiments(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.experiments.iter().map(Box::as_ref)
+    }
+
+    /// Looks an experiment up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.experiments().find(|e| e.name() == name)
+    }
+
+    /// The registered names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.experiments().map(|e| e.name()).collect()
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Runs every experiment in order, stopping at the first failure.
+    pub fn run_all(&self, quick: bool) -> Result<Vec<(&'static str, FigureOutput)>, Error> {
+        self.experiments()
+            .map(|e| Ok((e.name(), e.run(quick)?)))
+            .collect()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_every_figure_and_ablation() {
+        let registry = Registry::standard();
+        assert_eq!(registry.len(), 15);
+        assert!(!registry.is_empty());
+        for name in [
+            "fig01_workload",
+            "sec2b_probability",
+            "fig02_delta_equal",
+            "fig03_cache",
+            "fig04_small_vs_big",
+            "fig06_split_delta",
+            "fig07_fcfs",
+            "fig08_collective",
+            "fig09_policies",
+            "fig10_interrupt_granularity",
+            "fig11_dynamic",
+            "fig12_delay",
+            "ablation_gamma",
+            "ablation_share_policy",
+            "ablation_coordination_overhead",
+        ] {
+            let experiment = registry.get(name).unwrap_or_else(|| {
+                panic!("experiment '{name}' missing from the standard registry")
+            });
+            assert!(
+                !experiment.description().is_empty(),
+                "{name}: empty description"
+            );
+        }
+        assert!(registry.get("fig05_does_not_exist").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment name")]
+    fn duplicate_names_are_rejected() {
+        let mut registry = Registry::standard();
+        registry.register(Box::new(figures::fig01::Fig01));
+    }
+}

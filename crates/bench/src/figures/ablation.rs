@@ -11,11 +11,63 @@
 //!   needs to be).
 
 use super::{FigureOutput, MB};
+use crate::experiment::Experiment;
 use calciom::{
-    AccessPattern, AppConfig, AppId, PfsConfig, Session, SessionConfig, SharePolicy, Strategy,
+    AccessPattern, AppConfig, AppId, Error, PfsConfig, Scenario, Session, SharePolicy, Strategy,
 };
 use iobench::{FigureData, Series};
 use simcore::SimDuration;
+
+/// Registry entry for the γ sweep.
+pub struct AblationGamma;
+
+impl Experiment for AblationGamma {
+    fn name(&self) -> &'static str {
+        "ablation_gamma"
+    }
+
+    fn description(&self) -> &'static str {
+        "Ablation: locality-breakage penalty gamma"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run_gamma(quick)
+    }
+}
+
+/// Registry entry for the share-policy comparison.
+pub struct AblationSharePolicy;
+
+impl Experiment for AblationSharePolicy {
+    fn name(&self) -> &'static str {
+        "ablation_share_policy"
+    }
+
+    fn description(&self) -> &'static str {
+        "Ablation: per-stream versus per-application server fairness"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run_share_policy(quick)
+    }
+}
+
+/// Registry entry for the coordination-overhead sweep.
+pub struct AblationOverhead;
+
+impl Experiment for AblationOverhead {
+    fn name(&self) -> &'static str {
+        "ablation_coordination_overhead"
+    }
+
+    fn description(&self) -> &'static str {
+        "Ablation: coordination message latency"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run_overhead(quick)
+    }
+}
 
 fn equal_pair() -> Vec<AppConfig> {
     let pattern = AccessPattern::contiguous(16.0 * MB);
@@ -27,7 +79,7 @@ fn equal_pair() -> Vec<AppConfig> {
 
 /// Sweep of the locality-breakage penalty γ: sum of the two applications'
 /// write times at dt = 0, compared with the back-to-back (serialized) sum.
-pub fn run_gamma(quick: bool) -> FigureOutput {
+pub fn run_gamma(quick: bool) -> Result<FigureOutput, Error> {
     let gammas: Vec<f64> = if quick {
         vec![1.0, 0.85, 0.7]
     } else {
@@ -47,9 +99,11 @@ pub fn run_gamma(quick: bool) -> FigureOutput {
             (Strategy::Interfere, &mut interfering),
             (Strategy::FcfsSerialize, &mut serialized),
         ] {
-            let report =
-                Session::run(SessionConfig::new(pfs.clone(), equal_pair()).with_strategy(strategy))
-                    .expect("gamma ablation run");
+            let report = Scenario::builder(pfs.clone())
+                .apps(equal_pair())
+                .strategy(strategy)
+                .build()?
+                .run()?;
             series.push(gamma, report.makespan.as_secs());
         }
     }
@@ -63,12 +117,12 @@ pub fn run_gamma(quick: bool) -> FigureOutput {
             .to_string(),
     );
     out.figures.push(fig);
-    out
+    Ok(out)
 }
 
 /// Server share policy: slowdown of a small application under a
 /// request-stream-proportional scheduler versus an application-fair one.
-pub fn run_share_policy(_quick: bool) -> FigureOutput {
+pub fn run_share_policy(_quick: bool) -> Result<FigureOutput, Error> {
     let pattern = AccessPattern::contiguous(16.0 * MB);
     let mut fig = FigureData::new(
         "Ablation — server share policy (8-core B against 336-core A, dt = 0)",
@@ -86,8 +140,8 @@ pub fn run_share_policy(_quick: bool) -> FigureOutput {
             AppConfig::new(AppId(0), "A", 336, pattern),
             AppConfig::new(AppId(1), "B", 8, pattern),
         ];
-        let b_alone = Session::run_alone(apps[1].clone(), pfs.clone()).expect("alone run");
-        let report = Session::run(SessionConfig::new(pfs, apps)).expect("share policy run");
+        let b_alone = Session::run_alone(apps[1].clone(), pfs.clone())?;
+        let report = Scenario::builder(pfs).apps(apps).build()?.run()?;
         let b_io = report.app(AppId(1)).unwrap().first_phase().io_time();
         series.push(x, calciom::interference_factor(b_io, b_alone));
     }
@@ -101,12 +155,12 @@ pub fn run_share_policy(_quick: bool) -> FigureOutput {
             .to_string(),
     );
     out.figures.push(fig);
-    out
+    Ok(out)
 }
 
 /// Coordination message latency sweep: write time of the serialized second
 /// application as the per-exchange overhead grows.
-pub fn run_overhead(quick: bool) -> FigureOutput {
+pub fn run_overhead(quick: bool) -> Result<FigureOutput, Error> {
     let overheads_ms: Vec<f64> = if quick {
         vec![0.1, 100.0]
     } else {
@@ -120,16 +174,13 @@ pub fn run_overhead(quick: bool) -> FigureOutput {
     let mut series = Series::new("B write time");
     for &ms in &overheads_ms {
         let pattern = AccessPattern::contiguous(16.0 * MB);
-        let apps = vec![
-            AppConfig::new(AppId(0), "A", 336, pattern),
-            AppConfig::new(AppId(1), "B", 336, pattern).starting_at_secs(2.0),
-        ];
-        let report = Session::run(
-            SessionConfig::new(PfsConfig::grid5000_rennes(), apps)
-                .with_strategy(Strategy::FcfsSerialize)
-                .with_coordination_overhead(SimDuration::from_millis(ms)),
-        )
-        .expect("overhead ablation run");
+        let report = Scenario::builder(PfsConfig::grid5000_rennes())
+            .app(AppConfig::new(AppId(0), "A", 336, pattern))
+            .app(AppConfig::new(AppId(1), "B", 336, pattern).starting_at_secs(2.0))
+            .strategy(Strategy::FcfsSerialize)
+            .coordination_overhead(SimDuration::from_millis(ms))
+            .build()?
+            .run()?;
         series.push(ms, report.app(AppId(1)).unwrap().first_phase().io_time());
     }
     fig.add_series(series);
@@ -141,7 +192,7 @@ pub fn run_overhead(quick: bool) -> FigureOutput {
             .to_string(),
     );
     out.figures.push(fig);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -150,7 +201,7 @@ mod tests {
 
     #[test]
     fn gamma_one_makes_interference_equal_to_serialization() {
-        let out = run_gamma(true);
+        let out = run_gamma(true).unwrap();
         let fig = &out.figures[0];
         let interfering = fig.series("Interfering (dt=0)").unwrap();
         let fcfs = fig.series("FCFS (dt=0)").unwrap();
@@ -161,7 +212,7 @@ mod tests {
 
     #[test]
     fn app_fair_scheduler_protects_small_application() {
-        let out = run_share_policy(true);
+        let out = run_share_policy(true).unwrap();
         let series = &out.figures[0].series[0];
         let proportional = series.y_at(0.0).unwrap();
         let app_fair = series.y_at(1.0).unwrap();
@@ -173,7 +224,7 @@ mod tests {
 
     #[test]
     fn overhead_has_second_order_effect_only() {
-        let out = run_overhead(true);
+        let out = run_overhead(true).unwrap();
         let series = &out.figures[0].series[0];
         let low = series.points.first().unwrap().1;
         let high = series.points.last().unwrap().1;

@@ -7,11 +7,30 @@
 //! redistributable; see DESIGN.md).
 
 use super::FigureOutput;
+use crate::experiment::Experiment;
+use calciom::Error;
 use iobench::{FigureData, Series};
 use workloads::{generate, ConcurrencyDistribution, SyntheticTraceConfig, SIZE_BUCKETS};
 
+/// Registry entry for this figure.
+pub struct Fig01;
+
+impl Experiment for Fig01 {
+    fn name(&self) -> &'static str {
+        "fig01_workload"
+    }
+
+    fn description(&self) -> &'static str {
+        "Job sizes and concurrency on an Intrepid-like trace (Fig. 1)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let cfg = SyntheticTraceConfig {
         jobs: if quick { 3_000 } else { 20_000 },
         ..Default::default()
@@ -70,7 +89,7 @@ pub fn run(quick: bool) -> FigureOutput {
         "mean number of concurrently running jobs: {:.1}",
         concurrency.mean()
     ));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -79,7 +98,7 @@ mod tests {
 
     #[test]
     fn figure1_has_two_panels_and_sane_fractions() {
-        let out = run(true);
+        let out = run(true).unwrap();
         assert_eq!(out.figures.len(), 2);
         let cdf = out.figures[0].series("% of jobs (CDF)").unwrap();
         let last = cdf.points.last().unwrap().1;

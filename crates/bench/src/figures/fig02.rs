@@ -7,11 +7,30 @@
 //! "expected" shape that gives the Δ-graph its name.
 
 use super::{dts, FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
+/// Registry entry for this figure.
+pub struct Fig02;
+
+impl Experiment for Fig02 {
+    fn name(&self) -> &'static str {
+        "fig02_delta_equal"
+    }
+
+    fn description(&self) -> &'static str {
+        "Delta-graph of two equal 336-process applications (Fig. 2)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let pattern = AccessPattern::contiguous(16.0 * MB);
     let app_a = AppConfig::new(AppId(0), "App A", 336, pattern);
     let app_b = AppConfig::new(AppId(1), "App B", 336, pattern);
@@ -22,7 +41,7 @@ pub fn run(quick: bool) -> FigureOutput {
         dts(quick, -15.0, 15.0, 2.5),
     )
     .with_strategy(Strategy::Interfere);
-    let sweep = run_delta_sweep(&cfg).expect("figure 2 sweep");
+    let sweep = run_delta_sweep(&cfg)?;
 
     let mut fig = FigureData::new(
         "Figure 2 — two 336-process applications, 16 MB/process contiguous",
@@ -53,7 +72,7 @@ pub fn run(quick: bool) -> FigureOutput {
         "shape check: the first application to arrive is favored but still degraded".to_string(),
     );
     out.figures.push(fig);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -62,7 +81,7 @@ mod tests {
 
     #[test]
     fn delta_shape_matches_the_paper() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let fig = &out.figures[0];
         let a = fig.series("App A").unwrap();
         let b = fig.series("App B").unwrap();

@@ -7,6 +7,8 @@
 //! bursts coincide with the other application's collapse to disk speed.
 
 use super::{FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, PfsConfig};
 use iobench::{run_periodic, FigureData, PeriodicConfig, Series};
 use simcore::SimDuration;
@@ -16,8 +18,25 @@ fn writer(id: usize, name: &str, period_secs: f64, iterations: u32) -> AppConfig
         .with_periodic_phases(iterations, SimDuration::from_secs(period_secs))
 }
 
+/// Registry entry for this figure.
+pub struct Fig03;
+
+impl Experiment for Fig03 {
+    fn name(&self) -> &'static str {
+        "fig03_cache"
+    }
+
+    fn description(&self) -> &'static str {
+        "Cache thrashing under periodic interference (Fig. 3)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let iterations = if quick { 6 } else { 10 };
     let pfs = PfsConfig::grid5000_nancy();
 
@@ -25,14 +44,12 @@ pub fn run(quick: bool) -> FigureOutput {
         pfs: pfs.clone(),
         app_a: writer(0, "App 1", 10.0, iterations),
         app_b: None,
-    })
-    .expect("figure 3 alone run");
+    })?;
     let interfered = run_periodic(&PeriodicConfig {
         pfs,
         app_a: writer(0, "App 1", 10.0, iterations),
         app_b: Some(writer(1, "App 2", 7.0, iterations)),
-    })
-    .expect("figure 3 interfered run");
+    })?;
 
     let to_mbps = |series: &[f64]| -> Series {
         let mut s = Series::new("App 1 throughput");
@@ -69,7 +86,7 @@ pub fn run(quick: bool) -> FigureOutput {
     ));
     out.figures.push(panel_a);
     out.figures.push(panel_b);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -78,7 +95,7 @@ mod tests {
 
     #[test]
     fn coinciding_bursts_collapse_throughput() {
-        let out = run(true);
+        let out = run(true).unwrap();
         assert_eq!(out.figures.len(), 2);
         let alone_min = out.figures[0].series[0].min_y().unwrap();
         let interfered_min = out.figures[1].series[0].min_y().unwrap();

@@ -6,11 +6,30 @@
 //! sees a ≈ 6× decrease compared with running alone.
 
 use super::{FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, PfsConfig};
 use iobench::{run_size_sweep, FigureData, Series, SizeSweepConfig};
 
+/// Registry entry for this figure.
+pub struct Fig04;
+
+impl Experiment for Fig04 {
+    fn name(&self) -> &'static str {
+        "fig04_small_vs_big"
+    }
+
+    fn description(&self) -> &'static str {
+        "Small application against a big one: throughput collapse (Fig. 4)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let pattern = AccessPattern::contiguous(16.0 * MB);
     let b_sizes: Vec<u32> = if quick {
         vec![8, 48, 168, 336]
@@ -24,7 +43,7 @@ pub fn run(quick: bool) -> FigureOutput {
         b_sizes,
         threads: 0,
     };
-    let points = run_size_sweep(&cfg).expect("figure 4 sweep");
+    let points = run_size_sweep(&cfg)?;
 
     let mut fig = FigureData::new(
         "Figure 4 — App A on 336 cores, App B size varies, 16 MB/process, dt = 0",
@@ -58,7 +77,7 @@ pub fn run(quick: bool) -> FigureOutput {
         ));
     }
     out.figures.push(fig);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -67,7 +86,7 @@ mod tests {
 
     #[test]
     fn small_b_is_crushed_big_b_less_so() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let slowdown = out.figures[0].series("B slowdown (x)").unwrap();
         let first = slowdown.points.first().unwrap().1;
         let last = slowdown.points.last().unwrap().1;

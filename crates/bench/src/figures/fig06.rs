@@ -7,11 +7,30 @@
 //! instance.
 
 use super::{dts, FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
+/// Registry entry for this figure.
+pub struct Fig06;
+
+impl Experiment for Fig06 {
+    fn name(&self) -> &'static str {
+        "fig06_split_delta"
+    }
+
+    fn description(&self) -> &'static str {
+        "Delta-graphs for unequal 768-core splits (Fig. 6)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let splits: Vec<u32> = if quick {
         vec![24, 384]
     } else {
@@ -39,7 +58,7 @@ pub fn run(quick: bool) -> FigureOutput {
         let app_b = AppConfig::new(AppId(1), format!("B {n} cores"), n, pattern);
         let cfg = DeltaSweepConfig::new(PfsConfig::grid5000_rennes(), app_a, app_b, dts.clone())
             .with_strategy(Strategy::Interfere);
-        let sweep = run_delta_sweep(&cfg).expect("figure 6 sweep");
+        let sweep = run_delta_sweep(&cfg)?;
         let mut series_a = Series::new(format!("{big} cores"));
         let mut series_b = Series::new(format!("{n} cores"));
         for p in &sweep.points {
@@ -65,7 +84,7 @@ pub fn run(quick: bool) -> FigureOutput {
     );
     out.figures.push(panel_a);
     out.figures.push(panel_b);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -74,7 +93,7 @@ mod tests {
 
     #[test]
     fn small_application_is_hit_much_harder_than_big_one() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let small = out.figures[1].series("24 cores").unwrap();
         let big = out.figures[0].series("744 cores").unwrap();
         assert!(

@@ -9,10 +9,12 @@
 //! second.
 
 use super::{dts, FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
-fn panel(quick: bool, procs: u32, title: &str) -> (FigureData, Vec<String>) {
+fn panel(quick: bool, procs: u32, title: &str) -> Result<(FigureData, Vec<String>), Error> {
     let pattern = AccessPattern::contiguous(32.0 * MB);
     let app_a = AppConfig::new(AppId(0), "App A", procs, pattern);
     let app_b = AppConfig::new(AppId(1), "App B", procs, pattern);
@@ -29,7 +31,7 @@ fn panel(quick: bool, procs: u32, title: &str) -> (FigureData, Vec<String>) {
             dt_values.clone(),
         )
         .with_strategy(strategy);
-        let sweep = run_delta_sweep(&cfg).expect("figure 7 sweep");
+        let sweep = run_delta_sweep(&cfg)?;
         let mut series_b = Series::new(format!("App B ({})", strategy.label()));
         let mut series_a = Series::new(format!("App A ({})", strategy.label()));
         for p in &sweep.points {
@@ -51,22 +53,39 @@ fn panel(quick: bool, procs: u32, title: &str) -> (FigureData, Vec<String>) {
         fig.add_series(series_b);
     }
     fig.add_series(expected);
-    (fig, notes)
+    Ok((fig, notes))
+}
+
+/// Registry entry for this figure.
+pub struct Fig07;
+
+impl Experiment for Fig07 {
+    fn name(&self) -> &'static str {
+        "fig07_fcfs"
+    }
+
+    fn description(&self) -> &'static str {
+        "Interfering versus FCFS serialization on Surveyor (Fig. 7)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let mut out = FigureOutput::new("Figure 7 — interfering vs FCFS on Surveyor");
     let (fig_a, notes_a) = panel(
         quick,
         2048,
         "Figure 7(a) — 2×2048 cores, 32 MB/process contiguous",
-    );
+    )?;
     let (fig_b, notes_b) = panel(
         quick,
         1024,
         "Figure 7(b) — 2×1024 cores, 32 MB/process contiguous",
-    );
+    )?;
     out.figures.push(fig_a);
     out.figures.push(fig_b);
     out.notes.extend(notes_a);
@@ -76,7 +95,7 @@ pub fn run(quick: bool) -> FigureOutput {
          so serialization only shifts the cost to the second application"
             .to_string(),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -85,7 +104,7 @@ mod tests {
 
     #[test]
     fn big_apps_interfere_small_apps_tolerate() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let a2048 = &out.figures[0];
         let a1024 = &out.figures[1];
         // 2048 cores: at dt=0 interference is close to the expected doubling.

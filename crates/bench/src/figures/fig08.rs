@@ -9,6 +9,8 @@
 //! immune to the interference while the write phase takes the whole hit.
 
 use super::{dts, FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
@@ -20,8 +22,25 @@ fn apps() -> (AppConfig, AppConfig) {
     )
 }
 
+/// Registry entry for this figure.
+pub struct Fig08;
+
+impl Experiment for Fig08 {
+    fn name(&self) -> &'static str {
+        "fig08_collective"
+    }
+
+    fn description(&self) -> &'static str {
+        "Collective buffering under interference (Fig. 8)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let (app_a, app_b) = apps();
     let dt_values = dts(quick, -40.0, 40.0, 10.0);
 
@@ -41,7 +60,7 @@ pub fn run(quick: bool) -> FigureOutput {
             dt_values.clone(),
         )
         .with_strategy(strategy);
-        let sweep = run_delta_sweep(&cfg).expect("figure 8 sweep");
+        let sweep = run_delta_sweep(&cfg)?;
         let mut series = Series::new(strategy.label().to_string());
         for p in &sweep.points {
             series.push(p.dt, p.a_io_time);
@@ -80,7 +99,7 @@ pub fn run(quick: bool) -> FigureOutput {
         let dts = vec![dt.unwrap_or(500.0)];
         let cfg = DeltaSweepConfig::new(PfsConfig::surveyor(), app_a.clone(), app_b.clone(), dts)
             .with_strategy(Strategy::Interfere);
-        let sweep = run_delta_sweep(&cfg).expect("figure 8b run");
+        let sweep = run_delta_sweep(&cfg)?;
         let p = &sweep.points[0];
         comm.push(x, p.a_comm_seconds);
         write.push(x, p.a_write_seconds);
@@ -99,7 +118,7 @@ pub fn run(quick: bool) -> FigureOutput {
     );
     out.figures.push(panel_a);
     out.figures.push(panel_b);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -108,7 +127,7 @@ mod tests {
 
     #[test]
     fn comm_phase_is_immune_write_phase_is_not() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let panel_b = &out.figures[1];
         let comm = panel_b.series("Comm").unwrap();
         let write = panel_b.series("Write").unwrap();

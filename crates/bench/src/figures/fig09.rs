@@ -9,10 +9,16 @@
 //! counter-productive between equal applications.
 
 use super::{dts, FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, Granularity, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
-fn split_panels(quick: bool, small: u32, panel_prefix: &str) -> (FigureData, FigureData) {
+fn split_panels(
+    quick: bool,
+    small: u32,
+    panel_prefix: &str,
+) -> Result<(FigureData, FigureData), Error> {
     let big = 768 - small;
     // 16 MB per process as 8 strides of 2 MB (the Fig. 6 pattern): long
     // enough phases that the swept dt values overlap the ongoing access.
@@ -44,7 +50,7 @@ fn split_panels(quick: bool, small: u32, panel_prefix: &str) -> (FigureData, Fig
         )
         .with_strategy(strategy)
         .with_granularity(Granularity::Round);
-        let sweep = run_delta_sweep(&cfg).expect("figure 9 sweep");
+        let sweep = run_delta_sweep(&cfg)?;
         let mut series_a = Series::new(strategy.label().to_string());
         let mut series_b = Series::new(strategy.label().to_string());
         for p in &sweep.points {
@@ -54,14 +60,31 @@ fn split_panels(quick: bool, small: u32, panel_prefix: &str) -> (FigureData, Fig
         panel_big.add_series(series_a);
         panel_small.add_series(series_b);
     }
-    (panel_big, panel_small)
+    Ok((panel_big, panel_small))
+}
+
+/// Registry entry for this figure.
+pub struct Fig09;
+
+impl Experiment for Fig09 {
+    fn name(&self) -> &'static str {
+        "fig09_policies"
+    }
+
+    fn description(&self) -> &'static str {
+        "Three policies for equal and unequal application sizes (Fig. 9)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let mut out = FigureOutput::new("Figure 9 — interference factor under three policies");
-    let (a, b) = split_panels(quick, 24, "Figure 9(a)/(b) —");
-    let (c, d) = split_panels(quick, 384, "Figure 9(c)/(d) —");
+    let (a, b) = split_panels(quick, 24, "Figure 9(a)/(b) —")?;
+    let (c, d) = split_panels(quick, 384, "Figure 9(c)/(d) —")?;
     out.figures.extend([a, b, c, d]);
     out.notes.push(
         "unequal sizes: FCFS penalizes the late small application, interruption rescues it at a \
@@ -73,7 +96,7 @@ pub fn run(quick: bool) -> FigureOutput {
          full delay), FCFS is the better serialization"
             .to_string(),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -82,7 +105,7 @@ mod tests {
 
     #[test]
     fn interruption_helps_small_app_and_hurts_equal_sized_app() {
-        let out = run(true);
+        let out = run(true).unwrap();
         // Panel (b): the small application at the first positive dt (the
         // big application is still in the middle of its access there).
         let small = &out.figures[1];

@@ -16,6 +16,8 @@
 //! changing the amount of data.
 
 use super::{dts, FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, Granularity, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
@@ -28,8 +30,25 @@ pub fn workload() -> (AppConfig, AppConfig) {
     )
 }
 
+/// Registry entry for this figure.
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn name(&self) -> &'static str {
+        "fig10_interrupt_granularity"
+    }
+
+    fn description(&self) -> &'static str {
+        "File-level versus round-level interruption (Fig. 10)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let (app_a, app_b) = workload();
     let dt_values = dts(quick, -10.0, 30.0, 4.0);
 
@@ -68,7 +87,7 @@ pub fn run(quick: bool) -> FigureOutput {
         )
         .with_strategy(strategy)
         .with_granularity(granularity);
-        let sweep = run_delta_sweep(&cfg).expect("figure 10 sweep");
+        let sweep = run_delta_sweep(&cfg)?;
         let mut series_a = Series::new(label);
         let mut series_b = Series::new(label);
         for p in &sweep.points {
@@ -103,7 +122,7 @@ pub fn run(quick: bool) -> FigureOutput {
          pattern for B); round-level interruption lets B through almost immediately"
             .to_string(),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -112,7 +131,7 @@ mod tests {
 
     #[test]
     fn round_level_interruption_protects_b_better_than_file_level() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let panel_b = &out.figures[1];
         let file_level = panel_b.series("File-level interruption").unwrap();
         let round_level = panel_b.series("Round-level interruption").unwrap();
@@ -133,7 +152,7 @@ mod tests {
 
     #[test]
     fn interruption_costs_a_roughly_bs_write_time() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let panel_a = &out.figures[0];
         let x = *panel_a
             .x_values()

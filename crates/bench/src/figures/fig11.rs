@@ -9,12 +9,31 @@
 //! and without CALCioM (i.e. against uncoordinated interference).
 
 use super::{dts, FigureOutput};
+use crate::experiment::Experiment;
 use crate::figures::fig10::workload;
+use calciom::Error;
 use calciom::{DynamicPolicy, EfficiencyMetric, Granularity, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
+/// Registry entry for this figure.
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn name(&self) -> &'static str {
+        "fig11_dynamic"
+    }
+
+    fn description(&self) -> &'static str {
+        "Dynamic strategy selection against the CPU-seconds metric (Fig. 11)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let (app_a, app_b) = workload();
     let dt_values = dts(quick, -10.0, 30.0, 4.0);
 
@@ -37,7 +56,7 @@ pub fn run(quick: bool) -> FigureOutput {
         .with_strategy(strategy)
         .with_granularity(Granularity::File)
         .with_policy(DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted));
-        let sweep = run_delta_sweep(&cfg).expect("figure 11 sweep");
+        let sweep = run_delta_sweep(&cfg)?;
         let mut series = Series::new(label);
         for p in &sweep.points {
             series.push(p.dt, p.cpu_seconds_per_core);
@@ -58,7 +77,7 @@ pub fn run(quick: bool) -> FigureOutput {
          (dt < T_A(alone) − T_B(alone)); otherwise FCFS"
             .to_string(),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -67,7 +86,7 @@ mod tests {
 
     #[test]
     fn calciom_never_does_worse_than_interference_on_the_metric() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let fig = &out.figures[0];
         let without = fig.series("Without CALCioM").unwrap();
         let with = fig.series("With CALCioM").unwrap();

@@ -8,11 +8,30 @@
 //! interfering and FCFS extremes.
 
 use super::{dts, FigureOutput, MB};
+use crate::experiment::Experiment;
+use calciom::Error;
 use calciom::{AccessPattern, AppConfig, AppId, PfsConfig, Strategy};
 use iobench::{run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
+/// Registry entry for this figure.
+pub struct Fig12;
+
+impl Experiment for Fig12 {
+    fn name(&self) -> &'static str {
+        "fig12_delay"
+    }
+
+    fn description(&self) -> &'static str {
+        "Bounded delay as an interference trade-off (Fig. 12)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let pattern = AccessPattern::contiguous(32.0 * MB);
     let app_a = AppConfig::new(AppId(0), "App A", 1024, pattern);
     let app_b = AppConfig::new(AppId(1), "App B", 1024, pattern);
@@ -41,7 +60,7 @@ pub fn run(quick: bool) -> FigureOutput {
             dt_values.clone(),
         )
         .with_strategy(strategy);
-        let sweep = run_delta_sweep(&cfg).expect("figure 12 sweep");
+        let sweep = run_delta_sweep(&cfg)?;
         let mut series_b = Series::new(label);
         let mut series_sum = Series::new(label);
         for p in &sweep.points {
@@ -66,7 +85,7 @@ pub fn run(quick: bool) -> FigureOutput {
          the second application more than it helps the pair; a bounded delay sits in between"
             .to_string(),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -75,7 +94,7 @@ mod tests {
 
     #[test]
     fn delayed_sits_between_interfering_and_fcfs_for_b() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let fig = &out.figures[0];
         let x = *fig
             .x_values()

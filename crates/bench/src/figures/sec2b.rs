@@ -6,13 +6,32 @@
 //! `E[µ] = 5%`.
 
 use super::FigureOutput;
+use crate::experiment::Experiment;
+use calciom::Error;
 use iobench::{FigureData, Series};
 use workloads::{
     generate, probability_concurrent_io, ConcurrencyDistribution, SyntheticTraceConfig,
 };
 
+/// Registry entry for this figure.
+pub struct Sec2b;
+
+impl Experiment for Sec2b {
+    fn name(&self) -> &'static str {
+        "sec2b_probability"
+    }
+
+    fn description(&self) -> &'static str {
+        "Probability that another application is doing I/O (Sec. II-B)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
 /// Runs the experiment.
-pub fn run(quick: bool) -> FigureOutput {
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
     let cfg = SyntheticTraceConfig {
         jobs: if quick { 3_000 } else { 20_000 },
         ..Default::default()
@@ -43,7 +62,7 @@ pub fn run(quick: bool) -> FigureOutput {
         "mean number of concurrent jobs in the trace: {:.1}",
         dist.mean()
     ));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -52,7 +71,7 @@ mod tests {
 
     #[test]
     fn probability_is_monotone_in_mu_and_substantial() {
-        let out = run(true);
+        let out = run(true).unwrap();
         let series = &out.figures[0].series[0];
         let values: Vec<f64> = series.points.iter().map(|&(_, y)| y).collect();
         assert!(values.windows(2).all(|w| w[0] <= w[1] + 1e-12));

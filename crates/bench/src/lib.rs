@@ -2,10 +2,12 @@
 //!
 //! One module per figure of the paper's evaluation. Each module exposes a
 //! `run(quick: bool)` function that executes the experiment and returns a
-//! [`FigureOutput`]: the same curves/rows the paper plots, plus free-form
-//! notes (headline numbers, decision boundaries). The binaries in
-//! `src/bin/` print these tables; the Criterion benches in `benches/`
-//! measure the cost of representative slices of each experiment.
+//! [`FigureOutput`] (the same curves/rows the paper plots, plus free-form
+//! notes) or a typed [`calciom::Error`], and an [`Experiment`]
+//! implementation that plugs it into the [`Registry`]. The binaries in
+//! `src/bin/` are thin [`cli`] entry points over the registry; the
+//! Criterion benches in `benches/` measure the cost of representative
+//! slices of each experiment.
 //!
 //! `quick = true` runs a reduced parameter sweep (fewer `dt` points, fewer
 //! iterations) so that the whole suite stays fast in CI; `quick = false`
@@ -13,34 +15,9 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod experiment;
 pub mod figures;
 
+pub use experiment::{Experiment, Registry};
 pub use figures::FigureOutput;
-
-/// A figure experiment entry point: `quick` in, rendered output out.
-pub type ExperimentFn = fn(bool) -> FigureOutput;
-
-/// All figure experiments, in paper order, as `(identifier, runner)` pairs.
-/// Used by the `all_figures` binary and by integration tests.
-pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
-    vec![
-        ("fig01_workload", figures::fig01::run as ExperimentFn),
-        ("sec2b_probability", figures::sec2b::run),
-        ("fig02_delta_equal", figures::fig02::run),
-        ("fig03_cache", figures::fig03::run),
-        ("fig04_small_vs_big", figures::fig04::run),
-        ("fig06_split_delta", figures::fig06::run),
-        ("fig07_fcfs", figures::fig07::run),
-        ("fig08_collective", figures::fig08::run),
-        ("fig09_policies", figures::fig09::run),
-        ("fig10_interrupt_granularity", figures::fig10::run),
-        ("fig11_dynamic", figures::fig11::run),
-        ("fig12_delay", figures::fig12::run),
-        ("ablation_gamma", figures::ablation::run_gamma),
-        ("ablation_share_policy", figures::ablation::run_share_policy),
-        (
-            "ablation_coordination_overhead",
-            figures::ablation::run_overhead,
-        ),
-    ]
-}

@@ -1,20 +1,21 @@
-//! Smoke test over every figure reproduction: each `fig*` / ablation
-//! experiment must run (in quick mode) without panicking and produce
-//! non-empty, finite series — the invariant the `src/bin/fig*` binaries
-//! rely on when they print tables.
+//! Smoke test over every figure reproduction: each experiment registered
+//! in the standard [`Registry`] must run (in quick mode) without error and
+//! produce non-empty, finite series — the invariant the `src/bin/fig*`
+//! binaries rely on when they print tables.
 
-use calciom_bench::all_experiments;
+use calciom_bench::Registry;
 
 #[test]
-fn every_figure_produces_finite_nonempty_series() {
-    let experiments = all_experiments();
+fn every_registered_experiment_produces_finite_nonempty_series() {
+    let registry = Registry::standard();
     assert!(
-        experiments.len() >= 13,
+        registry.len() >= 15,
         "expected every fig*/sec2b/ablation experiment to be registered, got {}",
-        experiments.len()
+        registry.len()
     );
-    for (name, runner) in experiments {
-        let out = runner(true);
+    let results = registry.run_all(true).expect("every experiment runs");
+    assert_eq!(results.len(), registry.len());
+    for (name, out) in results {
         assert!(!out.id.is_empty(), "{name}: empty figure id");
         assert!(!out.figures.is_empty(), "{name}: no panels produced");
         for fig in &out.figures {
@@ -48,11 +49,23 @@ fn every_figure_produces_finite_nonempty_series() {
 }
 
 #[test]
+fn experiments_are_runnable_by_name() {
+    let registry = Registry::standard();
+    let out = registry
+        .get("fig02_delta_equal")
+        .expect("fig02 is registered")
+        .run(true)
+        .expect("fig02 runs");
+    assert!(out.id.contains("Figure 2"));
+    assert!(registry.get("no_such_experiment").is_none());
+}
+
+#[test]
 fn quick_mode_is_a_reduced_sweep_not_a_different_experiment() {
     // Quick mode must keep every panel and curve of the full experiment —
     // only the x resolution may drop. Checked on one representative figure
     // (fig02) to keep the smoke suite fast.
-    let quick = calciom_bench::figures::fig02::run(true);
+    let quick = calciom_bench::figures::fig02::run(true).unwrap();
     assert!(!quick.figures.is_empty());
     for fig in &quick.figures {
         for series in &fig.series {

@@ -1,4 +1,4 @@
-//! The CALCioM application-facing API.
+//! The CALCioM application-facing API and its coordination transports.
 //!
 //! Section III-C of the paper defines the calls an application (or the I/O
 //! library / MPI-IO layer acting on its behalf) makes on its *coordinator*
@@ -15,11 +15,19 @@
 //!
 //! In the paper the coordinator is rank 0 of the application and the calls
 //! exchange MPI messages with the other applications' coordinators. In this
-//! reproduction the transport is replaced by a shared in-process
-//! [`Arbiter`]; the *information exchanged* and the *decisions taken* are
-//! the same. [`Session`](crate::Session) uses exactly this code path
-//! internally; the standalone `Coordinator` exists so that library users
-//! can embed CALCioM coordination in their own drivers.
+//! reproduction the message exchange is replaced by a
+//! [`CoordinationTransport`] that serializes access to the shared
+//! [`Arbiter`] — the *information exchanged* and the *decisions taken* are
+//! the same. Two transports are provided:
+//!
+//! * [`LocalTransport`] — `Rc<RefCell<Arbiter>>`, zero-overhead for
+//!   single-threaded drivers (the default of [`Session`](crate::Session));
+//! * [`SharedTransport`] — `Arc<Mutex<Arbiter>>`, `Send + Sync`, so whole
+//!   sessions can be fanned out across threads (the `iobench` sweeps).
+//!
+//! [`Session`](crate::Session) uses exactly this code path internally; the
+//! standalone `Coordinator` exists so that library users can embed CALCioM
+//! coordination in their own drivers.
 
 use crate::arbiter::Arbiter;
 use crate::info::IoInfo;
@@ -27,32 +35,81 @@ use crate::strategy::{AccessOutcome, YieldOutcome};
 use pfs::AppId;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// A shared handle to the coordination state, cloned into every
-/// application's [`Coordinator`].
-pub type SharedArbiter = Rc<RefCell<Arbiter>>;
+/// How coordinators reach the shared coordination state.
+///
+/// The paper's API is transport-agnostic ("the decisions can be taken by
+/// the applications themselves or enforced by a system-provided entity");
+/// this trait is the seam where an MPI transport would plug in. Every
+/// operation is expressed as an exclusive visit to the [`Arbiter`], which
+/// keeps the protocol identical across transports.
+pub trait CoordinationTransport: Clone {
+    /// Wraps a fresh arbiter.
+    fn new(arbiter: Arbiter) -> Self;
 
-/// Wraps an [`Arbiter`] for sharing between coordinators.
-pub fn shared(arbiter: Arbiter) -> SharedArbiter {
-    Rc::new(RefCell::new(arbiter))
+    /// Runs `f` with exclusive access to the arbiter and returns its
+    /// result.
+    fn with<R>(&self, f: impl FnOnce(&mut Arbiter) -> R) -> R;
+}
+
+/// In-process, single-threaded transport (`Rc<RefCell<Arbiter>>`).
+#[derive(Debug, Clone)]
+pub struct LocalTransport {
+    inner: Rc<RefCell<Arbiter>>,
+}
+
+impl CoordinationTransport for LocalTransport {
+    fn new(arbiter: Arbiter) -> Self {
+        LocalTransport {
+            inner: Rc::new(RefCell::new(arbiter)),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Arbiter) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+}
+
+/// Thread-safe transport (`Arc<Mutex<Arbiter>>`): `Send + Sync`, so
+/// coordinators and sessions built on it can move across threads.
+#[derive(Debug, Clone)]
+pub struct SharedTransport {
+    inner: Arc<Mutex<Arbiter>>,
+}
+
+impl CoordinationTransport for SharedTransport {
+    fn new(arbiter: Arbiter) -> Self {
+        SharedTransport {
+            inner: Arc::new(Mutex::new(arbiter)),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Arbiter) -> R) -> R {
+        // The arbiter is a plain state machine; a panic while holding the
+        // lock cannot leave it half-updated in a way later calls would
+        // misread, so a poisoned lock is still usable.
+        f(&mut self.inner.lock().unwrap_or_else(|p| p.into_inner()))
+    }
 }
 
 /// Per-application facade over the CALCioM coordination protocol, exposing
-/// the API of Section III-C of the paper.
+/// the API of Section III-C of the paper over any
+/// [`CoordinationTransport`].
 #[derive(Clone)]
-pub struct Coordinator {
+pub struct Coordinator<T: CoordinationTransport = LocalTransport> {
     app: AppId,
-    arbiter: SharedArbiter,
+    transport: T,
     prepared: Vec<IoInfo>,
 }
 
-impl Coordinator {
+impl<T: CoordinationTransport> Coordinator<T> {
     /// Creates the coordinator for application `app`, attached to the
     /// shared coordination state.
-    pub fn new(app: AppId, arbiter: SharedArbiter) -> Self {
+    pub fn new(app: AppId, transport: T) -> Self {
         Coordinator {
             app,
-            arbiter,
+            transport,
             prepared: Vec::new(),
         }
     }
@@ -60,6 +117,11 @@ impl Coordinator {
     /// The application this coordinator speaks for.
     pub fn app(&self) -> AppId {
         self.app
+    }
+
+    /// The transport this coordinator communicates through.
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// `Prepare(MPI_Info info)`: stacks information about the upcoming I/O
@@ -77,49 +139,75 @@ impl Coordinator {
     /// running applications and registers this application's desire to
     /// access the file system. Returns the immediate outcome.
     pub fn inform(&mut self) -> AccessOutcome {
-        let mut arb = self.arbiter.borrow_mut();
-        if let Some(info) = self.prepared.last() {
-            arb.update_info(info.clone());
-        }
-        arb.request_access(self.app)
+        let app = self.app;
+        let info = self.prepared.last().cloned();
+        self.transport.with(|arb| {
+            if let Some(info) = info {
+                arb.update_info(info);
+            }
+            arb.request_access(app)
+        })
     }
 
     /// `Check(int* authorized)`: non-blocking query of whether this
     /// application is currently allowed to access the file system.
     pub fn check(&self) -> bool {
-        self.arbiter.borrow().is_granted(self.app)
+        self.transport.with(|arb| arb.is_granted(self.app))
+    }
+
+    /// Whether this application's access request is queued in the arbiter,
+    /// waiting for a grant.
+    pub fn pending(&self) -> bool {
+        self.transport.with(|arb| arb.is_pending(self.app))
     }
 
     /// `Wait()`: in the paper this blocks until the other applications
     /// agree that this application should do its I/O. In the discrete-event
     /// reproduction, blocking is expressed by the caller re-invoking
     /// [`Coordinator::check`] as simulated time advances; `wait` therefore
-    /// only asserts that a grant is either already available or pending.
+    /// only reports whether the grant has arrived yet.
+    ///
+    /// **Pending-grant invariant**: a `wait` that returns `false` always
+    /// corresponds to a request still queued in the arbiter — "not yet",
+    /// never "lost". The grant is guaranteed to arrive once the current
+    /// accessor(s) release or yield, so spinning on `check` terminates.
+    /// Calling `wait` without a preceding [`Coordinator::inform`] is a
+    /// protocol violation and trips a debug assertion.
     pub fn wait(&self) -> bool {
-        self.check()
+        let app = self.app;
+        self.transport.with(|arb| {
+            let granted = arb.is_granted(app);
+            debug_assert!(
+                granted || arb.is_pending(app),
+                "wait() for {app} without a queued request: call inform() first"
+            );
+            granted
+        })
     }
 
     /// Coordination point between two atomic accesses (the ADIO-level
     /// `Release(); Inform(); Check()` sequence): refreshes the shared
     /// information and asks whether the application should yield.
     pub fn yield_point(&mut self, refreshed: Option<IoInfo>) -> YieldOutcome {
-        let mut arb = self.arbiter.borrow_mut();
-        if let Some(info) = refreshed {
-            arb.update_info(info);
-        } else if let Some(info) = self.prepared.last() {
-            arb.update_info(info.clone());
-        }
-        arb.yield_point(self.app)
+        let app = self.app;
+        let info = refreshed.or_else(|| self.prepared.last().cloned());
+        self.transport.with(|arb| {
+            if let Some(info) = info {
+                arb.update_info(info);
+            }
+            arb.yield_point(app)
+        })
     }
 
     /// `Release()` at the end of the I/O phase: gives up the access slot,
     /// re-evaluates the global strategy and lets the next application in.
     pub fn release(&mut self) {
-        self.arbiter.borrow_mut().release(self.app);
+        let app = self.app;
+        self.transport.with(|arb| arb.release(app));
     }
 }
 
-impl std::fmt::Debug for Coordinator {
+impl<T: CoordinationTransport> std::fmt::Debug for Coordinator<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Coordinator")
             .field("app", &self.app)
@@ -151,14 +239,18 @@ mod tests {
         }
     }
 
-    fn pair(strategy: Strategy) -> (Coordinator, Coordinator) {
-        let arb = shared(Arbiter::new(
+    fn arbiter(strategy: Strategy) -> Arbiter {
+        Arbiter::new(
             strategy,
             DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
-        ));
+        )
+    }
+
+    fn pair(strategy: Strategy) -> (Coordinator, Coordinator) {
+        let transport = LocalTransport::new(arbiter(strategy));
         (
-            Coordinator::new(AppId(0), arb.clone()),
-            Coordinator::new(AppId(1), arb),
+            Coordinator::new(AppId(0), transport.clone()),
+            Coordinator::new(AppId(1), transport),
         )
     }
 
@@ -214,6 +306,65 @@ mod tests {
         b.release();
         assert!(a.check());
         a.release();
+    }
+
+    #[test]
+    fn pending_grant_invariant_false_wait_means_queued_request() {
+        // The satellite invariant: whenever wait() reports false, the
+        // request is still queued in the arbiter — it was parked, not
+        // dropped — and releasing the accessor eventually grants it.
+        for strategy in [
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Dynamic,
+            Strategy::Delay { max_wait_secs: 5.0 },
+        ] {
+            let (mut a, mut b) = pair(strategy);
+            a.prepare(info(0, 336, 12.0, 12.0));
+            a.inform();
+            b.prepare(info(1, 336, 12.0, 12.0));
+            b.inform();
+            if !b.wait() {
+                assert!(
+                    b.pending(),
+                    "{strategy:?}: a false wait() must leave the request queued"
+                );
+                a.release();
+                assert!(
+                    b.wait(),
+                    "{strategy:?}: the queued request must be granted on release"
+                );
+                assert!(!b.pending());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_transport_runs_the_protocol_across_threads() {
+        // The same FCFS handshake, with each coordinator living on its own
+        // thread — possible because SharedTransport (and thus the
+        // coordinators built on it) is Send + Sync.
+        let transport = SharedTransport::new(arbiter(Strategy::FcfsSerialize));
+        let mut a = Coordinator::new(AppId(0), transport.clone());
+        let mut b = Coordinator::new(AppId(1), transport);
+        std::thread::scope(|scope| {
+            scope
+                .spawn(move || {
+                    a.prepare(info(0, 336, 12.0, 12.0));
+                    assert_eq!(a.inform(), AccessOutcome::Granted);
+                    a.release();
+                })
+                .join()
+                .expect("coordinator thread");
+            scope
+                .spawn(move || {
+                    b.prepare(info(1, 336, 12.0, 12.0));
+                    assert_eq!(b.inform(), AccessOutcome::Granted);
+                    b.release();
+                })
+                .join()
+                .expect("coordinator thread");
+        });
     }
 
     #[test]

@@ -95,6 +95,15 @@ impl Arbiter {
         self.active.contains(&app)
     }
 
+    /// Whether the given application has a request queued (parked waiting
+    /// for its first grant, or interrupted and waiting to resume). Together
+    /// with [`Arbiter::is_granted`] this is the *pending-grant invariant*
+    /// of the API: an application that asked for access and was refused is
+    /// always either granted or pending — never forgotten.
+    pub fn is_pending(&self, app: AppId) -> bool {
+        self.parked.iter().any(|(a, _)| *a == app)
+    }
+
     /// Number of coordination messages exchanged so far.
     pub fn message_count(&self) -> u64 {
         self.messages
@@ -418,6 +427,36 @@ mod tests {
         arb.yield_point(AppId(0));
         arb.release(AppId(0));
         assert!(arb.message_count() >= before + 4);
+    }
+
+    #[test]
+    fn refused_requests_stay_pending_until_granted() {
+        // The pending-grant invariant behind `Coordinator::wait`: a request
+        // that is not granted immediately is queued — it can always be
+        // found in the parked set until a release/yield grants it.
+        for strategy in [
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Dynamic,
+            Strategy::Delay { max_wait_secs: 9.0 },
+        ] {
+            let mut arb = arbiter(strategy);
+            arb.update_info(info(0, 64, 10.0, 10.0));
+            arb.update_info(info(1, 64, 10.0, 10.0));
+            arb.request_access(AppId(0));
+            let outcome = arb.request_access(AppId(1));
+            if outcome != AccessOutcome::Granted {
+                assert!(
+                    arb.is_pending(AppId(1)),
+                    "{strategy:?}: refused request must be queued"
+                );
+                assert!(!arb.is_granted(AppId(1)));
+                arb.release(AppId(0));
+                // A yield-less release hands the slot over.
+                assert!(arb.is_granted(AppId(1)), "{strategy:?}");
+                assert!(!arb.is_pending(AppId(1)), "{strategy:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Typed errors for the coordination layer and everything built on it.
+//!
+//! [`enum@Error`] is the single error surface of the `calciom` crate (and,
+//! via re-export, of the `iobench` harness): configuration problems from
+//! the substrate crates are wrapped into [`ConfigError`], runtime failures
+//! of a simulation into [`SessionError`], and problems decoding a
+//! serialized [`Scenario`](crate::Scenario) or an exchanged `MPI_Info`
+//! payload into [`ScenarioParseError`] / [`InfoError`]. Every variant is
+//! matchable — no caller ever needs to parse an error message.
+
+use pfs::AppId;
+use simcore::time::SimDuration;
+
+/// A problem found while validating a scenario or one of its parts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The file system configuration was invalid.
+    Pfs(pfs::ConfigError),
+    /// An application configuration was invalid.
+    App(mpiio::ConfigError),
+    /// The scenario had no applications at all.
+    NoApplications,
+    /// Two applications shared the same identifier.
+    DuplicateApp(AppId),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Pfs(e) => write!(f, "file system configuration: {e}"),
+            ConfigError::App(e) => write!(f, "application configuration: {e}"),
+            ConfigError::NoApplications => {
+                write!(f, "a scenario needs at least one application")
+            }
+            ConfigError::DuplicateApp(app) => write!(f, "duplicate application id {app}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Pfs(e) => Some(e),
+            ConfigError::App(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pfs::ConfigError> for ConfigError {
+    fn from(e: pfs::ConfigError) -> Self {
+        ConfigError::Pfs(e)
+    }
+}
+
+impl From<mpiio::ConfigError> for ConfigError {
+    fn from(e: mpiio::ConfigError) -> Self {
+        ConfigError::App(e)
+    }
+}
+
+/// A failure while executing a simulation session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// No events are pending but some application has not finished — a
+    /// coordination deadlock (should be unreachable for valid scenarios).
+    Deadlock {
+        /// Human-readable dump of the per-application states.
+        detail: String,
+    },
+    /// Simulated time exceeded the configured horizon (guards against
+    /// configuration mistakes such as an unreachable bandwidth).
+    HorizonExceeded {
+        /// The horizon that was exceeded.
+        horizon: SimDuration,
+    },
+    /// A report was requested for an application the session did not run.
+    MissingApp(AppId),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Deadlock { detail } => {
+                write!(
+                    f,
+                    "deadlock: no pending events but applications are not done (states: {detail})"
+                )
+            }
+            SessionError::HorizonExceeded { horizon } => {
+                write!(f, "simulation exceeded the configured horizon of {horizon}")
+            }
+            SessionError::MissingApp(app) => write!(f, "no report for application {app}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A problem decoding the textual form of a [`Scenario`](crate::Scenario).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioParseError {
+    /// The document did not start with the expected header line.
+    BadHeader,
+    /// A line was not a section header or a `key = value` pair.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An unknown `[section]` header.
+    UnknownSection(String),
+    /// A key that does not belong to its section.
+    UnknownKey(String),
+    /// The same key appeared twice in one section.
+    DuplicateKey(String),
+    /// A required key was absent from its section.
+    MissingKey(&'static str),
+    /// A value could not be parsed.
+    InvalidValue {
+        /// The key whose value was rejected.
+        key: String,
+        /// The rejected text.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioParseError::BadHeader => {
+                write!(f, "missing or unsupported scenario header")
+            }
+            ScenarioParseError::Malformed { line } => {
+                write!(f, "line {line}: expected `key = value` or `[section]`")
+            }
+            ScenarioParseError::UnknownSection(s) => write!(f, "unknown section [{s}]"),
+            ScenarioParseError::UnknownKey(k) => write!(f, "unknown key '{k}'"),
+            ScenarioParseError::DuplicateKey(k) => write!(f, "duplicate key '{k}'"),
+            ScenarioParseError::MissingKey(k) => write!(f, "missing key '{k}'"),
+            ScenarioParseError::InvalidValue { key, value } => {
+                write!(f, "invalid value for '{key}': {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioParseError {}
+
+/// A problem decoding the flat `(key, value)` representation of an
+/// [`IoInfo`](crate::IoInfo) (the paper's `MPI_Info` payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InfoError {
+    /// A required key was absent.
+    MissingKey(String),
+    /// A value could not be parsed.
+    InvalidValue {
+        /// The key whose value was rejected.
+        key: String,
+        /// The rejected text.
+        value: String,
+    },
+    /// An unknown granularity label.
+    UnknownGranularity(String),
+}
+
+impl std::fmt::Display for InfoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InfoError::MissingKey(k) => write!(f, "missing key '{k}'"),
+            InfoError::InvalidValue { key, value } => {
+                write!(f, "invalid value for '{key}': {value}")
+            }
+            InfoError::UnknownGranularity(g) => write!(f, "unknown granularity '{g}'"),
+        }
+    }
+}
+
+impl std::error::Error for InfoError {}
+
+/// The error type of every fallible public operation in the CALCioM stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A scenario (or one of its parts) failed validation.
+    Config(ConfigError),
+    /// A simulation session failed at runtime.
+    Session(SessionError),
+    /// A serialized scenario could not be decoded.
+    Scenario(ScenarioParseError),
+    /// An exchanged `MPI_Info` payload could not be decoded.
+    Info(InfoError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Config(e) => e.fmt(f),
+            Error::Session(e) => e.fmt(f),
+            Error::Scenario(e) => e.fmt(f),
+            Error::Info(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Session(e) => Some(e),
+            Error::Scenario(e) => Some(e),
+            Error::Info(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<SessionError> for Error {
+    fn from(e: SessionError) -> Self {
+        Error::Session(e)
+    }
+}
+
+impl From<ScenarioParseError> for Error {
+    fn from(e: ScenarioParseError) -> Self {
+        Error::Scenario(e)
+    }
+}
+
+impl From<InfoError> for Error {
+    fn from(e: InfoError) -> Self {
+        Error::Info(e)
+    }
+}
+
+impl From<pfs::ConfigError> for Error {
+    fn from(e: pfs::ConfigError) -> Self {
+        Error::Config(ConfigError::Pfs(e))
+    }
+}
+
+impl From<mpiio::ConfigError> for Error {
+    fn from(e: mpiio::ConfigError) -> Self {
+        Error::Config(ConfigError::App(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_the_wrapped_detail() {
+        let e = Error::from(pfs::ConfigError::NoServers);
+        assert!(e.to_string().contains("num_servers"));
+        let e = Error::from(ConfigError::DuplicateApp(AppId(3)));
+        assert!(e.to_string().contains("app3"));
+        let e = Error::from(SessionError::HorizonExceeded {
+            horizon: SimDuration::from_secs(10.0),
+        });
+        assert!(e.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_substrate_error() {
+        use std::error::Error as _;
+        let e = Error::from(mpiio::ConfigError::ZeroBlockCount);
+        assert!(e.source().is_some());
+        assert!(e.source().unwrap().source().is_some());
+    }
+}

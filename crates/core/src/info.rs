@@ -8,6 +8,7 @@
 //! [`IoInfo::from_pairs`] provide the flat `(key, value)` representation
 //! that mirrors the `MPI_Info` object of the paper's API.
 
+use crate::error::InfoError;
 use mpiio::Granularity;
 use pfs::AppId;
 use serde::{Deserialize, Serialize};
@@ -83,22 +84,21 @@ impl IoInfo {
     }
 
     /// Parses the flat representation produced by [`IoInfo::to_pairs`].
-    pub fn from_pairs(pairs: &BTreeMap<String, String>) -> Result<Self, String> {
-        fn get<'a>(m: &'a BTreeMap<String, String>, k: &str) -> Result<&'a str, String> {
+    pub fn from_pairs(pairs: &BTreeMap<String, String>) -> Result<Self, InfoError> {
+        fn get<'a>(m: &'a BTreeMap<String, String>, k: &str) -> Result<&'a str, InfoError> {
             m.get(k)
                 .map(|s| s.as_str())
-                .ok_or_else(|| format!("missing key '{k}'"))
+                .ok_or_else(|| InfoError::MissingKey(k.to_string()))
         }
-        fn parse<T: std::str::FromStr>(s: &str, k: &str) -> Result<T, String> {
-            s.parse()
-                .map_err(|_| format!("invalid value for '{k}': {s}"))
+        fn parse<T: std::str::FromStr>(s: &str, k: &str) -> Result<T, InfoError> {
+            s.parse().map_err(|_| InfoError::InvalidValue {
+                key: k.to_string(),
+                value: s.to_string(),
+            })
         }
-        let granularity = match get(pairs, "granularity")? {
-            "phase" => Granularity::Phase,
-            "file" => Granularity::File,
-            "round" => Granularity::Round,
-            other => return Err(format!("unknown granularity '{other}'")),
-        };
+        let granularity_label = get(pairs, "granularity")?;
+        let granularity = Granularity::from_label(granularity_label)
+            .ok_or_else(|| InfoError::UnknownGranularity(granularity_label.to_string()))?;
         Ok(IoInfo {
             app: AppId(parse(get(pairs, "app")?, "app")?),
             procs: parse(get(pairs, "procs")?, "procs")?,
@@ -170,14 +170,23 @@ mod tests {
     fn from_pairs_reports_missing_and_invalid_keys() {
         let mut pairs = sample().to_pairs();
         pairs.remove("procs");
-        assert!(IoInfo::from_pairs(&pairs).unwrap_err().contains("procs"));
+        assert_eq!(
+            IoInfo::from_pairs(&pairs).unwrap_err(),
+            InfoError::MissingKey("procs".into())
+        );
 
         let mut pairs = sample().to_pairs();
         pairs.insert("granularity".into(), "banana".into());
-        assert!(IoInfo::from_pairs(&pairs).is_err());
+        assert_eq!(
+            IoInfo::from_pairs(&pairs).unwrap_err(),
+            InfoError::UnknownGranularity("banana".into())
+        );
 
         let mut pairs = sample().to_pairs();
         pairs.insert("bytes_total".into(), "not-a-number".into());
-        assert!(IoInfo::from_pairs(&pairs).is_err());
+        assert!(matches!(
+            IoInfo::from_pairs(&pairs).unwrap_err(),
+            InfoError::InvalidValue { .. }
+        ));
     }
 }

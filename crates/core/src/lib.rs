@@ -30,7 +30,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use calciom::{Session, SessionConfig, Strategy};
+//! use calciom::{Scenario, Strategy};
 //! use mpiio::{AccessPattern, AppConfig};
 //! use pfs::{AppId, PfsConfig};
 //!
@@ -41,18 +41,21 @@
 //!     .starting_at_secs(2.0);
 //!
 //! // Without coordination they interfere...
-//! let interfering = Session::run(SessionConfig::new(
-//!     PfsConfig::grid5000_rennes(),
-//!     vec![a.clone(), b.clone()],
-//! ))
-//! .unwrap();
+//! let interfering = Scenario::builder(PfsConfig::grid5000_rennes())
+//!     .apps([a.clone(), b.clone()])
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //!
 //! // ...with CALCioM the second one is serialized after the first.
-//! let coordinated = Session::run(
-//!     SessionConfig::new(PfsConfig::grid5000_rennes(), vec![a, b])
-//!         .with_strategy(Strategy::FcfsSerialize),
-//! )
-//! .unwrap();
+//! let coordinated = Scenario::builder(PfsConfig::grid5000_rennes())
+//!     .apps([a, b])
+//!     .strategy(Strategy::FcfsSerialize)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //!
 //! let t_first = |r: &calciom::SessionReport| r.apps[0].first_phase().io_time();
 //! // The first application is protected by serialization.
@@ -63,20 +66,24 @@
 
 pub mod api;
 pub mod arbiter;
+pub mod error;
 pub mod info;
 pub mod metrics;
 pub mod policy;
+pub mod scenario;
 pub mod session;
 pub mod strategy;
 
-pub use api::Coordinator;
+pub use api::{CoordinationTransport, Coordinator, LocalTransport, SharedTransport};
 pub use arbiter::Arbiter;
+pub use error::{ConfigError, Error, InfoError, ScenarioParseError, SessionError};
 pub use info::IoInfo;
 pub use metrics::{
     cpu_seconds_wasted_per_core, evaluate, interference_factor, AppObservation, EfficiencyMetric,
 };
 pub use policy::{DynDecision, DynamicPolicy};
-pub use session::{AppReport, PhaseResult, Session, SessionConfig, SessionReport};
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use session::{AppReport, PhaseResult, Session, SessionReport};
 pub use strategy::{AccessOutcome, Strategy, YieldOutcome};
 
 // Re-export the identifiers users need from the substrate crates so that

@@ -40,6 +40,11 @@ impl EfficiencyMetric {
             EfficiencyMetric::SumInterferenceFactors => "sum_interference_factors",
         }
     }
+
+    /// Parses a label produced by [`EfficiencyMetric::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|m| m.label() == label)
+    }
 }
 
 /// Per-application observation used to evaluate a metric.

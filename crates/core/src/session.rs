@@ -1,18 +1,28 @@
 //! Coupled simulation of applications + CALCioM + parallel file system.
 //!
-//! A [`Session`] takes a set of applications (described by
-//! [`mpiio::AppConfig`]), a file system configuration, and a CALCioM
-//! [`Strategy`], and plays out the whole scenario: each application walks
-//! its I/O plan, issues coordination calls at its yield points, and submits
+//! A [`Session`] takes a [`Scenario`] — a set of applications (described
+//! by [`mpiio::AppConfig`]), a file system configuration, and a CALCioM
+//! [`Strategy`] — and plays out the whole run: each application walks its
+//! I/O plan, issues coordination calls at its yield points, and submits
 //! atomic writes to the shared [`pfs::Pfs`]. The result is a
 //! [`SessionReport`] with per-application, per-phase timings from which the
 //! experiment harnesses compute write times, interference factors, and
 //! machine-wide efficiency metrics.
+//!
+//! The session reaches the shared [`Arbiter`] through a
+//! [`CoordinationTransport`]: [`LocalTransport`] (the default) for
+//! single-threaded drivers, [`SharedTransport`](crate::SharedTransport)
+//! when sessions are built on one thread and executed on another (the
+//! `iobench` parallel sweeps). The simulation itself is deterministic —
+//! integer-tick clock, no randomness — so the transport never changes the
+//! report.
 
+use crate::api::{CoordinationTransport, LocalTransport};
 use crate::arbiter::Arbiter;
+use crate::error::{Error, SessionError};
 use crate::info::IoInfo;
 use crate::metrics::{AppObservation, EfficiencyMetric};
-use crate::policy::DynamicPolicy;
+use crate::scenario::Scenario;
 use crate::strategy::{AccessOutcome, Strategy, YieldOutcome};
 use mpiio::{AppConfig, Granularity, IoPlan, StepKind};
 use pfs::{AppId, Pfs, PfsConfig, TransferId};
@@ -20,85 +30,6 @@ use serde::{Deserialize, Serialize};
 use simcore::event::EventQueue;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
-
-/// Full description of one simulated scenario.
-#[derive(Debug, Clone)]
-pub struct SessionConfig {
-    /// The shared parallel file system.
-    pub pfs: PfsConfig,
-    /// The applications running concurrently.
-    pub apps: Vec<AppConfig>,
-    /// The coordination strategy in force.
-    pub strategy: Strategy,
-    /// How often applications issue coordination calls (interruption
-    /// granularity).
-    pub granularity: Granularity,
-    /// Dynamic-selection policy (consulted only when `strategy` is
-    /// [`Strategy::Dynamic`]).
-    pub policy: DynamicPolicy,
-    /// Latency of one coordination exchange (grant/resume notification).
-    pub coordination_overhead: SimDuration,
-    /// Hard bound on simulated time; exceeding it aborts the run with an
-    /// error (guards against configuration mistakes).
-    pub horizon: SimDuration,
-}
-
-impl SessionConfig {
-    /// Creates a configuration with the default strategy (interfering, i.e.
-    /// no coordination), round-level granularity, and the CPU·seconds
-    /// dynamic policy.
-    pub fn new(pfs: PfsConfig, apps: Vec<AppConfig>) -> Self {
-        SessionConfig {
-            pfs,
-            apps,
-            strategy: Strategy::Interfere,
-            granularity: Granularity::Round,
-            policy: DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
-            coordination_overhead: SimDuration::from_millis(1.0),
-            horizon: SimDuration::from_secs(86_400.0),
-        }
-    }
-
-    /// Sets the coordination strategy.
-    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
-        self
-    }
-
-    /// Sets the coordination granularity.
-    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
-        self.granularity = granularity;
-        self
-    }
-
-    /// Sets the dynamic policy.
-    pub fn with_policy(mut self, policy: DynamicPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Sets the coordination message latency.
-    pub fn with_coordination_overhead(mut self, overhead: SimDuration) -> Self {
-        self.coordination_overhead = overhead;
-        self
-    }
-
-    /// Validates the whole configuration.
-    pub fn validate(&self) -> Result<(), String> {
-        self.pfs.validate()?;
-        if self.apps.is_empty() {
-            return Err("a session needs at least one application".into());
-        }
-        let mut seen = std::collections::BTreeSet::new();
-        for app in &self.apps {
-            app.validate()?;
-            if !seen.insert(app.id) {
-                return Err(format!("duplicate application id {}", app.id));
-            }
-        }
-        Ok(())
-    }
-}
 
 /// Timing of one I/O phase of one application.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -325,22 +256,52 @@ impl AppRuntime {
     }
 }
 
-/// The coupled simulator.
-pub struct Session {
-    cfg: SessionConfig,
+/// The coupled simulator, generic over how it reaches the arbiter.
+///
+/// `Session<SharedTransport>` is `Send`, so fully-built sessions can be
+/// handed to worker threads; `Session<LocalTransport>` (the default) stays
+/// on its creating thread and avoids the lock.
+pub struct Session<T: CoordinationTransport = LocalTransport> {
+    cfg: Scenario,
     pfs: Pfs,
-    arbiter: Arbiter,
+    transport: T,
     queue: EventQueue<Event>,
     apps: BTreeMap<AppId, AppRuntime>,
     transfer_owner: BTreeMap<TransferId, AppId>,
 }
 
-impl Session {
-    /// Builds a session from a validated configuration.
-    pub fn new(cfg: SessionConfig) -> Result<Self, String> {
-        cfg.validate()?;
+impl Session<LocalTransport> {
+    /// Builds a session from a validated scenario on the in-process
+    /// transport.
+    pub fn new(scenario: &Scenario) -> Result<Self, Error> {
+        Session::with_transport(scenario)
+    }
+
+    /// Convenience: build and run in one call.
+    pub fn run(scenario: &Scenario) -> Result<SessionReport, Error> {
+        Session::new(scenario)?.execute()
+    }
+
+    /// Runs a single application alone on the given file system and returns
+    /// the observed I/O time of its first phase — the `T_alone` baseline of
+    /// the interference factor.
+    pub fn run_alone(app: AppConfig, pfs_cfg: PfsConfig) -> Result<f64, Error> {
+        let mut app = app;
+        app.start = SimTime::ZERO;
+        let report = Session::run(&Scenario::new(pfs_cfg, vec![app]))?;
+        Ok(report.apps[0].first_phase().io_time())
+    }
+}
+
+impl<T: CoordinationTransport> Session<T> {
+    /// Builds a session from a validated scenario on an explicit transport
+    /// type (e.g. [`SharedTransport`](crate::SharedTransport) for sessions
+    /// that cross threads).
+    pub fn with_transport(scenario: &Scenario) -> Result<Self, Error> {
+        scenario.validate()?;
+        let cfg = scenario.clone();
         let pfs = Pfs::new(cfg.pfs.clone())?;
-        let arbiter = Arbiter::new(cfg.strategy, cfg.policy);
+        let transport = T::new(Arbiter::new(cfg.strategy, cfg.policy));
         let mut queue = EventQueue::new();
         let mut apps = BTreeMap::new();
         for app_cfg in &cfg.apps {
@@ -351,30 +312,15 @@ impl Session {
         Ok(Session {
             cfg,
             pfs,
-            arbiter,
+            transport,
             queue,
             apps,
             transfer_owner: BTreeMap::new(),
         })
     }
 
-    /// Convenience: build and run in one call.
-    pub fn run(cfg: SessionConfig) -> Result<SessionReport, String> {
-        Session::new(cfg)?.execute()
-    }
-
-    /// Runs a single application alone on the given file system and returns
-    /// the observed I/O time of its first phase — the `T_alone` baseline of
-    /// the interference factor.
-    pub fn run_alone(app: AppConfig, pfs_cfg: PfsConfig) -> Result<f64, String> {
-        let mut app = app;
-        app.start = SimTime::ZERO;
-        let report = Session::run(SessionConfig::new(pfs_cfg, vec![app]))?;
-        Ok(report.apps[0].first_phase().io_time())
-    }
-
     /// Executes the scenario to completion.
-    pub fn execute(mut self) -> Result<SessionReport, String> {
+    pub fn execute(mut self) -> Result<SessionReport, Error> {
         let horizon = SimTime::ZERO + self.cfg.horizon;
         loop {
             if self.apps.values().all(|a| a.state == RtState::Done) {
@@ -387,21 +333,21 @@ impl Session {
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
                 (None, None) => {
-                    return Err(format!(
-                        "deadlock: no pending events but applications are not done \
-                         (states: {:?})",
+                    let detail = format!(
+                        "{:?}",
                         self.apps
                             .values()
                             .map(|a| (a.cfg.id, a.state))
                             .collect::<Vec<_>>()
-                    ))
+                    );
+                    return Err(SessionError::Deadlock { detail }.into());
                 }
             };
             if next > horizon {
-                return Err(format!(
-                    "simulation exceeded the configured horizon of {}",
-                    self.cfg.horizon
-                ));
+                return Err(SessionError::HorizonExceeded {
+                    horizon: self.cfg.horizon,
+                }
+                .into());
             }
 
             self.pfs.advance_to(next);
@@ -444,7 +390,7 @@ impl Session {
         Ok(SessionReport {
             strategy: self.cfg.strategy,
             apps,
-            coordination_messages: self.arbiter.message_count(),
+            coordination_messages: self.transport.with(|arb| arb.message_count()),
             makespan,
         })
     }
@@ -475,9 +421,10 @@ impl Session {
                 if rt.state != RtState::WantAccess && rt.state != RtState::Parked {
                     return;
                 }
-                if !self.arbiter.is_granted(app) {
+                if !self.transport.with(|arb| arb.is_granted(app)) {
                     return;
                 }
+                let rt = self.apps.get_mut(&app).expect("known app");
                 if let Some(start) = rt.wait_started.take() {
                     rt.wait_secs += now.saturating_since(start).as_secs();
                 }
@@ -488,9 +435,12 @@ impl Session {
                 if rt.state != RtState::WantAccess {
                     return;
                 }
-                if !self.arbiter.is_granted(app) {
-                    self.arbiter.force_grant(app);
-                }
+                self.transport.with(|arb| {
+                    if !arb.is_granted(app) {
+                        arb.force_grant(app);
+                    }
+                });
+                let rt = self.apps.get_mut(&app).expect("known app");
                 if let Some(start) = rt.wait_started.take() {
                     rt.wait_secs += now.saturating_since(start).as_secs();
                 }
@@ -538,11 +488,14 @@ impl Session {
                 let rt = &self.apps[&app];
                 rt.current_io_info(&self.cfg.pfs, self.cfg.granularity)
             };
-            self.arbiter.update_info(info);
 
             if !started {
                 // Start of the phase: ask for access (Inform + Check/Wait).
-                match self.arbiter.request_access(app) {
+                let outcome = self.transport.with(|arb| {
+                    arb.update_info(info);
+                    arb.request_access(app)
+                });
+                match outcome {
                     AccessOutcome::Granted => {}
                     AccessOutcome::MustWait => {
                         let rt = self.apps.get_mut(&app).expect("known app");
@@ -562,7 +515,11 @@ impl Session {
             } else {
                 // Mid-phase coordination point (Release/Inform between
                 // rounds or files): check whether we must yield.
-                match self.arbiter.yield_point(app) {
+                let outcome = self.transport.with(|arb| {
+                    arb.update_info(info);
+                    arb.yield_point(app)
+                });
+                match outcome {
                     YieldOutcome::Continue => {}
                     YieldOutcome::YieldNow => {
                         let rt = self.apps.get_mut(&app).expect("known app");
@@ -624,7 +581,7 @@ impl Session {
     /// Closes the current phase of `app`, releases its coordination slot,
     /// and schedules the next phase (or marks the application done).
     fn finish_phase(&mut self, app: AppId, now: SimTime) {
-        let (result, more_phases, next_start) = {
+        let (more_phases, next_start) = {
             let rt = self.apps.get_mut(&app).expect("known app");
             let result = PhaseResult {
                 app,
@@ -647,11 +604,10 @@ impl Session {
             } else {
                 now
             };
-            (result, more, next_start)
+            (more, next_start)
         };
-        let _ = result;
 
-        self.arbiter.release(app);
+        self.transport.with(|arb| arb.release(app));
         self.notify_granted(now);
 
         let rt = self.apps.get_mut(&app).expect("known app");
@@ -668,15 +624,16 @@ impl Session {
     /// every parked application that the arbiter has granted.
     fn notify_granted(&mut self, now: SimTime) {
         let overhead = self.cfg.coordination_overhead;
-        let granted: Vec<AppId> = self
-            .apps
-            .iter()
-            .filter(|(_, rt)| {
-                matches!(rt.state, RtState::WantAccess | RtState::Parked)
-                    && self.arbiter.is_granted(rt.cfg.id)
-            })
-            .map(|(id, _)| *id)
-            .collect();
+        let apps = &self.apps;
+        let granted: Vec<AppId> = self.transport.with(|arb| {
+            apps.iter()
+                .filter(|(_, rt)| {
+                    matches!(rt.state, RtState::WantAccess | RtState::Parked)
+                        && arb.is_granted(rt.cfg.id)
+                })
+                .map(|(id, _)| *id)
+                .collect()
+        });
         for app in granted {
             self.queue.schedule(now + overhead, Event::Resume(app));
         }
@@ -686,6 +643,8 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::SharedTransport;
+    use crate::error::ConfigError;
     use mpiio::AccessPattern;
 
     const MB: f64 = 1.0e6;
@@ -717,11 +676,12 @@ mod tests {
 
     #[test]
     fn interference_slows_both_apps() {
-        let cfg = SessionConfig::new(
-            rennes(),
-            vec![app(0, "A", 336, 16.0, 0.0), app(1, "B", 336, 16.0, 0.0)],
-        );
-        let report = Session::run(cfg).unwrap();
+        let scenario = Scenario::builder(rennes())
+            .app(app(0, "A", 336, 16.0, 0.0))
+            .app(app(1, "B", 336, 16.0, 0.0))
+            .build()
+            .unwrap();
+        let report = scenario.run().unwrap();
         let alone = Session::run_alone(app(0, "A", 336, 16.0, 0.0), rennes()).unwrap();
         let ta = report.app(AppId(0)).unwrap().first_phase().io_time();
         let tb = report.app(AppId(1)).unwrap().first_phase().io_time();
@@ -732,12 +692,13 @@ mod tests {
     #[test]
     fn fcfs_impacts_only_the_second_application() {
         let alone = Session::run_alone(app(0, "A", 336, 16.0, 0.0), rennes()).unwrap();
-        let cfg = SessionConfig::new(
-            rennes(),
-            vec![app(0, "A", 336, 16.0, 0.0), app(1, "B", 336, 16.0, 2.0)],
-        )
-        .with_strategy(Strategy::FcfsSerialize);
-        let report = Session::run(cfg).unwrap();
+        let scenario = Scenario::builder(rennes())
+            .app(app(0, "A", 336, 16.0, 0.0))
+            .app(app(1, "B", 336, 16.0, 2.0))
+            .strategy(Strategy::FcfsSerialize)
+            .build()
+            .unwrap();
+        let report = scenario.run().unwrap();
         let ta = report.app(AppId(0)).unwrap().first_phase().io_time();
         let tb = report.app(AppId(1)).unwrap().first_phase().io_time();
         // A is barely impacted; B waits for A's remaining time then writes.
@@ -757,10 +718,13 @@ mod tests {
         let b = app(1, "B", 336, 16.0, 3.0);
         let alone_a = Session::run_alone(a.clone(), rennes()).unwrap();
         let alone_b = Session::run_alone(b.clone(), rennes()).unwrap();
-        let cfg = SessionConfig::new(rennes(), vec![a, b])
-            .with_strategy(Strategy::Interrupt)
-            .with_granularity(Granularity::File);
-        let report = Session::run(cfg).unwrap();
+        let scenario = Scenario::builder(rennes())
+            .apps([a, b])
+            .strategy(Strategy::Interrupt)
+            .granularity(Granularity::File)
+            .build()
+            .unwrap();
+        let report = scenario.run().unwrap();
         let ta = report.app(AppId(0)).unwrap().first_phase().io_time();
         let tb = report.app(AppId(1)).unwrap().first_phase().io_time();
         // B should be close to its alone time (it had to wait at most for
@@ -777,10 +741,14 @@ mod tests {
     #[test]
     fn serialization_beats_interference_in_aggregate() {
         let apps = vec![app(0, "A", 384, 16.0, 0.0), app(1, "B", 384, 16.0, 1.0)];
-        let interfering = Session::run(SessionConfig::new(rennes(), apps.clone())).unwrap();
-        let fcfs =
-            Session::run(SessionConfig::new(rennes(), apps).with_strategy(Strategy::FcfsSerialize))
-                .unwrap();
+        let interfering = Scenario::new(rennes(), apps.clone()).run().unwrap();
+        let fcfs = Scenario::builder(rennes())
+            .apps(apps)
+            .strategy(Strategy::FcfsSerialize)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         let sum =
             |r: &SessionReport| -> f64 { r.apps.iter().map(|a| a.first_phase().io_time()).sum() };
         assert!(
@@ -804,10 +772,13 @@ mod tests {
         .into_iter()
         .collect();
         let run = |strategy: Strategy| -> f64 {
-            let cfg = SessionConfig::new(rennes(), vec![a.clone(), b.clone()])
-                .with_strategy(strategy)
-                .with_granularity(Granularity::File);
-            Session::run(cfg)
+            Scenario::builder(rennes())
+                .apps([a.clone(), b.clone()])
+                .strategy(strategy)
+                .granularity(Granularity::File)
+                .build()
+                .unwrap()
+                .run()
                 .unwrap()
                 .metric(EfficiencyMetric::CpuSecondsWasted, &alone)
         };
@@ -824,7 +795,7 @@ mod tests {
     #[test]
     fn periodic_phases_report_one_result_each() {
         let a = app(0, "A", 64, 4.0, 0.0).with_periodic_phases(5, SimDuration::from_secs(10.0));
-        let report = Session::run(SessionConfig::new(rennes(), vec![a])).unwrap();
+        let report = Scenario::new(rennes(), vec![a]).run().unwrap();
         let phases = &report.apps[0].phases;
         assert_eq!(phases.len(), 5);
         // Starts are 10 s apart.
@@ -838,9 +809,13 @@ mod tests {
     fn delay_strategy_bounds_the_wait() {
         let a = app(0, "A", 336, 64.0, 0.0); // long write
         let b = app(1, "B", 336, 16.0, 1.0);
-        let cfg = SessionConfig::new(rennes(), vec![a, b])
-            .with_strategy(Strategy::Delay { max_wait_secs: 2.0 });
-        let report = Session::run(cfg).unwrap();
+        let report = Scenario::builder(rennes())
+            .apps([a, b])
+            .strategy(Strategy::Delay { max_wait_secs: 2.0 })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         let b_phase = report.app(AppId(1)).unwrap().first_phase();
         assert!(
             (b_phase.wait_seconds - 2.0).abs() < 0.1,
@@ -852,7 +827,7 @@ mod tests {
     #[test]
     fn report_accessors_and_metrics() {
         let apps = vec![app(0, "A", 336, 16.0, 0.0), app(1, "B", 48, 16.0, 0.0)];
-        let report = Session::run(SessionConfig::new(rennes(), apps)).unwrap();
+        let report = Scenario::new(rennes(), apps).run().unwrap();
         assert!(report.app(AppId(0)).is_some());
         assert!(report.app(AppId(9)).is_none());
         assert!(report.makespan > SimTime::ZERO);
@@ -868,20 +843,68 @@ mod tests {
     }
 
     #[test]
-    fn validation_errors_are_reported() {
-        let cfg = SessionConfig::new(rennes(), vec![]);
-        assert!(Session::run(cfg).is_err());
-        let cfg = SessionConfig::new(
+    fn validation_errors_are_typed() {
+        let scenario = Scenario::new(rennes(), vec![]);
+        assert_eq!(
+            Session::run(&scenario).unwrap_err(),
+            Error::Config(ConfigError::NoApplications)
+        );
+        let scenario = Scenario::new(
             rennes(),
             vec![app(0, "A", 336, 16.0, 0.0), app(0, "B", 48, 16.0, 0.0)],
         );
-        assert!(Session::run(cfg).unwrap_err().contains("duplicate"));
+        assert_eq!(
+            Session::run(&scenario).unwrap_err(),
+            Error::Config(ConfigError::DuplicateApp(AppId(0)))
+        );
+        let mut scenario = Scenario::new(rennes(), vec![app(0, "A", 336, 16.0, 0.0)]);
+        scenario.pfs.server_bw = -1.0;
+        assert!(matches!(
+            Session::run(&scenario).unwrap_err(),
+            Error::Config(ConfigError::Pfs(_))
+        ));
+    }
+
+    #[test]
+    fn horizon_exceeded_is_typed() {
+        let scenario = Scenario::builder(rennes())
+            .app(app(0, "A", 336, 16.0, 0.0))
+            .horizon(SimDuration::from_secs(0.5))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            scenario.run().unwrap_err(),
+            Error::Session(SessionError::HorizonExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_transport_reproduces_the_local_report_exactly() {
+        // The determinism convention of DESIGN.md: same scenario, same
+        // report, bit for bit — whichever transport carries the
+        // coordination traffic.
+        let scenario = Scenario::builder(rennes())
+            .app(app(0, "A", 336, 16.0, 0.0))
+            .app(app(1, "B", 48, 16.0, 2.0))
+            .strategy(Strategy::Interrupt)
+            .build()
+            .unwrap();
+        let local = scenario.run().unwrap();
+        let shared = scenario.run_shared().unwrap();
+        assert_eq!(local, shared);
+        // And a Session<SharedTransport> built here survives being moved
+        // to another thread before executing.
+        let session = Session::<SharedTransport>::with_transport(&scenario).unwrap();
+        let remote = std::thread::spawn(move || session.execute().unwrap())
+            .join()
+            .expect("worker thread");
+        assert_eq!(local, remote);
     }
 
     #[test]
     fn phase_decomposition_accounts_comm_and_write() {
         let a = AppConfig::new(AppId(0), "A", 512, AccessPattern::strided(2.0 * MB, 8));
-        let report = Session::run(SessionConfig::new(rennes(), vec![a])).unwrap();
+        let report = Scenario::new(rennes(), vec![a]).run().unwrap();
         let phase = report.apps[0].first_phase();
         assert!(phase.comm_seconds > 0.0, "strided pattern has comm time");
         assert!(phase.write_seconds > 0.0);

@@ -10,7 +10,7 @@
 //! stream equally.
 
 use crate::parallel::parallel_map;
-use calciom::{Session, SessionConfig};
+use calciom::{Error, Scenario, Session};
 use mpiio::AppConfig;
 use pfs::{AppId, PfsConfig};
 use serde::{Deserialize, Serialize};
@@ -50,22 +50,22 @@ pub struct SizeSweepPoint {
 }
 
 /// Runs the size sweep.
-pub fn run_size_sweep(cfg: &SizeSweepConfig) -> Result<Vec<SizeSweepPoint>, String> {
-    let runs: Vec<Result<SizeSweepPoint, String>> =
+pub fn run_size_sweep(cfg: &SizeSweepConfig) -> Result<Vec<SizeSweepPoint>, Error> {
+    let runs: Vec<Result<SizeSweepPoint, Error>> =
         parallel_map(cfg.b_sizes.clone(), cfg.threads, |&procs| {
             run_point(cfg, procs)
         });
     runs.into_iter().collect()
 }
 
-fn run_point(cfg: &SizeSweepConfig, b_procs: u32) -> Result<SizeSweepPoint, String> {
+fn run_point(cfg: &SizeSweepConfig, b_procs: u32) -> Result<SizeSweepPoint, Error> {
     let mut app_a = cfg.app_a.clone();
     let mut app_b = cfg.app_b.clone();
     app_a.start = SimTime::ZERO;
     app_b.start = SimTime::ZERO;
     app_b.procs = b_procs;
 
-    let throughput_alone = |app: &AppConfig| -> Result<f64, String> {
+    let throughput_alone = |app: &AppConfig| -> Result<f64, Error> {
         let t = Session::run_alone(app.clone(), cfg.pfs.clone())?;
         Ok(if t > 0.0 {
             app.bytes_per_phase() / t
@@ -76,10 +76,10 @@ fn run_point(cfg: &SizeSweepConfig, b_procs: u32) -> Result<SizeSweepPoint, Stri
     let a_alone_throughput = throughput_alone(&app_a)?;
     let b_alone_throughput = throughput_alone(&app_b)?;
 
-    let report = Session::run(SessionConfig::new(
-        cfg.pfs.clone(),
-        vec![app_a.clone(), app_b.clone()],
-    ))?;
+    let report = Scenario::builder(cfg.pfs.clone())
+        .apps([app_a.clone(), app_b.clone()])
+        .build()?
+        .run()?;
     let throughput = |id: AppId| -> f64 {
         report
             .app(id)

@@ -6,8 +6,9 @@
 //! stand-alone baselines, and exposes the per-application interference
 //! factors and machine-wide metrics for each strategy.
 
+use crate::parallel::run_scenarios;
 use calciom::{
-    AppObservation, DynamicPolicy, EfficiencyMetric, Granularity, Session, SessionConfig,
+    AppObservation, DynamicPolicy, EfficiencyMetric, Error, Granularity, Scenario, Session,
     SessionReport, Strategy,
 };
 use mpiio::AppConfig;
@@ -40,11 +41,10 @@ pub struct StrategyComparison {
 }
 
 impl StrategyComparison {
-    /// The run for a given strategy label.
+    /// The run for a given strategy. Strategies compare structurally, so
+    /// two `Delay` strategies with different bounds are distinct runs.
     pub fn run(&self, strategy: Strategy) -> Option<&StrategyRun> {
-        self.runs
-            .iter()
-            .find(|r| r.strategy.label() == strategy.label())
+        self.runs.iter().find(|r| r.strategy == strategy)
     }
 
     /// Interference factor of `app` under `strategy`.
@@ -71,7 +71,7 @@ impl StrategyComparison {
 
 /// Measures each application's stand-alone I/O time on the given file
 /// system.
-pub fn alone_times(pfs: &PfsConfig, apps: &[AppConfig]) -> Result<BTreeMap<AppId, f64>, String> {
+pub fn alone_times(pfs: &PfsConfig, apps: &[AppConfig]) -> Result<BTreeMap<AppId, f64>, Error> {
     let mut alone = BTreeMap::new();
     for app in apps {
         alone.insert(app.id, Session::run_alone(app.clone(), pfs.clone())?);
@@ -79,26 +79,34 @@ pub fn alone_times(pfs: &PfsConfig, apps: &[AppConfig]) -> Result<BTreeMap<AppId
     Ok(alone)
 }
 
-/// Runs the scenario once per strategy and collects the comparison.
+/// Runs the scenario once per strategy — concurrently, one
+/// `Session<SharedTransport>` per worker thread — and collects the
+/// comparison. Sessions are deterministic, so the parallel grid produces
+/// the same reports a sequential loop would.
 pub fn compare_strategies(
     pfs: &PfsConfig,
     apps: &[AppConfig],
     strategies: &[Strategy],
     granularity: Granularity,
     policy: DynamicPolicy,
-) -> Result<StrategyComparison, String> {
+) -> Result<StrategyComparison, Error> {
     let alone = alone_times(pfs, apps)?;
-    let mut runs = Vec::with_capacity(strategies.len());
-    for &strategy in strategies {
-        let cfg = SessionConfig::new(pfs.clone(), apps.to_vec())
-            .with_strategy(strategy)
-            .with_granularity(granularity)
-            .with_policy(policy);
-        runs.push(StrategyRun {
-            strategy,
-            report: Session::run(cfg)?,
-        });
-    }
+    let scenarios = strategies
+        .iter()
+        .map(|&strategy| {
+            Ok(Scenario::builder(pfs.clone())
+                .apps(apps.to_vec())
+                .strategy(strategy)
+                .granularity(granularity)
+                .policy(policy)
+                .build()?)
+        })
+        .collect::<Result<Vec<Scenario>, Error>>()?;
+    let runs = strategies
+        .iter()
+        .zip(run_scenarios(&scenarios, 0)?)
+        .map(|(&strategy, report)| StrategyRun { strategy, report })
+        .collect();
     Ok(StrategyComparison { alone, runs })
 }
 
@@ -173,6 +181,34 @@ mod tests {
             interrupt < interfere && interfere < fcfs,
             "interrupt={interrupt} interfere={interfere} fcfs={fcfs}"
         );
+    }
+
+    #[test]
+    fn delay_strategies_with_different_bounds_are_distinct_runs() {
+        // The lookup is structural (`Strategy: PartialEq`), not label
+        // based: two bounded-delay runs with different budgets must not
+        // shadow each other.
+        let (pfs, apps) = scenario();
+        let short = Strategy::Delay { max_wait_secs: 1.0 };
+        let long = Strategy::Delay {
+            max_wait_secs: 30.0,
+        };
+        let cmp = compare_strategies(
+            &pfs,
+            &apps,
+            &[short, long],
+            Granularity::Round,
+            DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+        )
+        .unwrap();
+        let b = AppId(1);
+        assert_eq!(cmp.run(short).unwrap().strategy, short);
+        assert_eq!(cmp.run(long).unwrap().strategy, long);
+        assert!(cmp.run(Strategy::Delay { max_wait_secs: 2.0 }).is_none());
+        // The budgets genuinely differ: the long delay serializes B behind
+        // A for longer than the short one.
+        let io = |s: Strategy| cmp.run(s).unwrap().io_time(b).unwrap();
+        assert!(io(long) >= io(short));
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! value (in parallel) plus the two stand-alone baselines.
 
 use crate::expected::expected_times;
-use crate::parallel::parallel_map;
+use crate::parallel::run_scenarios;
 use calciom::{
-    cpu_seconds_wasted_per_core, AppObservation, DynamicPolicy, EfficiencyMetric, Granularity,
-    Session, SessionConfig, Strategy,
+    cpu_seconds_wasted_per_core, AppObservation, DynamicPolicy, EfficiencyMetric, Error,
+    Granularity, Scenario, Session, SessionError, SessionReport, Strategy,
 };
 use mpiio::AppConfig;
 use pfs::PfsConfig;
@@ -144,19 +144,26 @@ pub fn dt_range(lo: f64, hi: f64, step: f64) -> Vec<f64> {
 }
 
 /// Runs a Δ-graph sweep: one simulation per dt plus the two stand-alone
-/// baselines.
-pub fn run_delta_sweep(cfg: &DeltaSweepConfig) -> Result<DeltaSweepResult, String> {
+/// baselines. The per-dt sessions are fanned out across worker threads
+/// over the shared transport (see [`run_scenarios`]); the simulation is
+/// deterministic, so the result is identical to a sequential sweep.
+pub fn run_delta_sweep(cfg: &DeltaSweepConfig) -> Result<DeltaSweepResult, Error> {
     let a_alone = Session::run_alone(cfg.app_a.clone(), cfg.pfs.clone())?;
     let b_alone = Session::run_alone(cfg.app_b.clone(), cfg.pfs.clone())?;
 
-    let runs: Vec<Result<DeltaPoint, String>> = parallel_map(cfg.dts.clone(), cfg.threads, |&dt| {
-        run_delta_point(cfg, dt, a_alone, b_alone)
-    });
+    let scenarios = cfg
+        .dts
+        .iter()
+        .map(|&dt| scenario_at(cfg, dt))
+        .collect::<Result<Vec<_>, Error>>()?;
+    let reports = run_scenarios(&scenarios, cfg.threads)?;
 
-    let mut points = Vec::with_capacity(runs.len());
-    for run in runs {
-        points.push(run?);
-    }
+    let points = cfg
+        .dts
+        .iter()
+        .zip(&reports)
+        .map(|(&dt, report)| delta_point(cfg, dt, a_alone, b_alone, report))
+        .collect::<Result<Vec<_>, Error>>()?;
     Ok(DeltaSweepResult {
         strategy: cfg.strategy,
         a_alone,
@@ -165,32 +172,36 @@ pub fn run_delta_sweep(cfg: &DeltaSweepConfig) -> Result<DeltaSweepResult, Strin
     })
 }
 
-fn run_delta_point(
-    cfg: &DeltaSweepConfig,
-    dt: f64,
-    a_alone: f64,
-    b_alone: f64,
-) -> Result<DeltaPoint, String> {
-    // A starts at the reference date, B at dt; negative dt shifts A instead
-    // so that simulated time stays non-negative.
+/// Builds the scenario for one dt value. A starts at the reference date, B
+/// at dt; negative dt shifts A instead so that simulated time stays
+/// non-negative.
+fn scenario_at(cfg: &DeltaSweepConfig, dt: f64) -> Result<Scenario, Error> {
     let (a_start, b_start) = if dt >= 0.0 { (0.0, dt) } else { (-dt, 0.0) };
     let mut app_a = cfg.app_a.clone();
     let mut app_b = cfg.app_b.clone();
     app_a.start = SimTime::from_secs(a_start);
     app_b.start = SimTime::from_secs(b_start);
+    Ok(Scenario::builder(cfg.pfs.clone())
+        .apps([app_a, app_b])
+        .strategy(cfg.strategy)
+        .granularity(cfg.granularity)
+        .policy(cfg.policy)
+        .build()?)
+}
 
-    let session_cfg = SessionConfig::new(cfg.pfs.clone(), vec![app_a.clone(), app_b.clone()])
-        .with_strategy(cfg.strategy)
-        .with_granularity(cfg.granularity)
-        .with_policy(cfg.policy);
-    let report = Session::run(session_cfg)?;
-
+fn delta_point(
+    cfg: &DeltaSweepConfig,
+    dt: f64,
+    a_alone: f64,
+    b_alone: f64,
+    report: &SessionReport,
+) -> Result<DeltaPoint, Error> {
     let a = report
-        .app(app_a.id)
-        .ok_or_else(|| "missing report for application A".to_string())?;
+        .app(cfg.app_a.id)
+        .ok_or(SessionError::MissingApp(cfg.app_a.id))?;
     let b = report
-        .app(app_b.id)
-        .ok_or_else(|| "missing report for application B".to_string())?;
+        .app(cfg.app_b.id)
+        .ok_or(SessionError::MissingApp(cfg.app_b.id))?;
     let a_phase = a.first_phase();
     let b_phase = b.first_phase();
     let a_io_time = a_phase.io_time();
@@ -205,13 +216,13 @@ fn run_delta_point(
     );
     let observations = [
         AppObservation {
-            app: app_a.id,
+            app: cfg.app_a.id,
             procs: cfg.app_a.procs,
             io_seconds: a_io_time,
             alone_seconds: a_alone,
         },
         AppObservation {
-            app: app_b.id,
+            app: cfg.app_b.id,
             procs: cfg.app_b.procs,
             io_seconds: b_io_time,
             alone_seconds: b_alone,

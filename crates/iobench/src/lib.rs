@@ -17,7 +17,12 @@
 //!   as "Expected" in the paper's Δ-graphs.
 //! * [`series`] — result series and plain-text tables used by the bench
 //!   binaries to print exactly the rows/curves each figure shows.
-//! * [`parallel`] — a small scoped-thread parallel map for sweeps.
+//! * [`parallel`] — scoped-thread parallel maps plus [`run_scenarios`],
+//!   which fans fully-built `Session<SharedTransport>` values out across
+//!   worker threads (deterministic: same reports as a sequential run).
+//!
+//! Every fallible entry point returns [`calciom::Error`] — the typed error
+//! surface shared by the whole stack.
 //!
 //! ## Example: a miniature Δ-graph
 //!
@@ -47,6 +52,6 @@ pub use aggregate::{run_size_sweep, SizeSweepConfig, SizeSweepPoint};
 pub use compare::{alone_times, compare_strategies, StrategyComparison, StrategyRun};
 pub use delta::{dt_range, run_delta_sweep, DeltaPoint, DeltaSweepConfig, DeltaSweepResult};
 pub use expected::{expected_factors, expected_times, ExpectedTimes};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_owned, run_scenarios};
 pub use periodic::{run_periodic, PeriodicConfig, PeriodicResult};
 pub use series::{FigureData, Series};

@@ -1,10 +1,19 @@
-//! Small parallel-map helper for experiment sweeps.
+//! Parallel execution of experiment sweeps.
 //!
 //! A Δ-graph is a sweep of dozens of independent simulations (one per `dt`
 //! value per strategy); running them on all available cores keeps the full
-//! figure-reproduction suite fast. The helper preserves input order and
-//! propagates panics.
+//! figure-reproduction suite fast. Two layers are provided:
+//!
+//! * [`parallel_map`] / [`parallel_map_owned`] — order-preserving,
+//!   panic-propagating scoped-thread maps over a work list;
+//! * [`run_scenarios`] — the sweep primitive: builds one
+//!   `Session<SharedTransport>` per [`Scenario`] on the calling thread,
+//!   ships the fully-built sessions to worker threads (possible because
+//!   the shared transport makes sessions `Send`), and executes them
+//!   concurrently. The simulation is deterministic, so the reports are
+//!   bit-identical to a sequential run.
 
+use calciom::{Error, Scenario, Session, SessionReport, SharedTransport};
 use std::thread;
 
 /// Applies `f` to every item of `items`, distributing the work over up to
@@ -20,16 +29,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = if max_threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        max_threads
-    }
-    .min(n)
-    .max(1);
-
+    let workers = worker_count(max_threads, n);
     if workers == 1 {
         return items.iter().map(f).collect();
     }
@@ -62,9 +62,94 @@ where
         .collect()
 }
 
+/// By-value variant of [`parallel_map`]: each item is *moved* into the
+/// worker thread that processes it. This is what lets fully-built
+/// `Session<SharedTransport>` values (which own their event queues and
+/// file-system state) execute off-thread.
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(max_threads, n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+
+    thread::scope(|scope| {
+        let mut remaining_items: &mut [Option<T>] = &mut items;
+        let mut remaining_results: &mut [Option<R>] = &mut results;
+        let f = &f;
+        while !remaining_items.is_empty() {
+            let take = chunk.min(remaining_items.len());
+            let (item_chunk, rest_items) = remaining_items.split_at_mut(take);
+            let (result_chunk, rest_results) = remaining_results.split_at_mut(take);
+            remaining_items = rest_items;
+            remaining_results = rest_results;
+            scope.spawn(move || {
+                for (slot, item) in result_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item.take().expect("each item visited once")));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs a batch of independent scenarios concurrently and returns their
+/// reports in input order.
+///
+/// Every session is built on the calling thread over the `Send + Sync`
+/// [`SharedTransport`], then moved to a worker thread for execution
+/// (`max_threads` as in [`parallel_map`]; 0 means all cores). Building
+/// eagerly means a configuration error in *any* scenario is reported
+/// before a single simulation starts.
+pub fn run_scenarios(
+    scenarios: &[Scenario],
+    max_threads: usize,
+) -> Result<Vec<SessionReport>, Error> {
+    let sessions = scenarios
+        .iter()
+        .map(Session::<SharedTransport>::with_transport)
+        .collect::<Result<Vec<_>, Error>>()?;
+    parallel_map_owned(sessions, max_threads, Session::execute)
+        .into_iter()
+        .collect()
+}
+
+fn worker_count(max_threads: usize, items: usize) -> usize {
+    let workers = if max_threads == 0 {
+        thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        max_threads
+    };
+    workers.min(items).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use calciom::Strategy;
+    use mpiio::{AccessPattern, AppConfig};
+    use pfs::{AppId, PfsConfig};
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn preserves_order_and_values() {
@@ -96,5 +181,76 @@ mod tests {
             }
             *x
         });
+    }
+
+    #[test]
+    fn owned_map_moves_non_clone_values_and_preserves_order() {
+        struct NotClone(u64);
+        let input: Vec<NotClone> = (0..100).map(NotClone).collect();
+        let out = parallel_map_owned(input, 4, |x| x.0 * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        let empty: Vec<u8> = parallel_map_owned(Vec::<NotClone>::new(), 4, |x| x.0 as u8);
+        assert!(empty.is_empty());
+    }
+
+    fn scenario_grid() -> Vec<Scenario> {
+        let pattern = AccessPattern::contiguous(8.0e6);
+        [
+            Strategy::Interfere,
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Dynamic,
+        ]
+        .into_iter()
+        .map(|strategy| {
+            Scenario::builder(PfsConfig::grid5000_rennes())
+                .app(AppConfig::new(AppId(0), "A", 336, pattern))
+                .app(AppConfig::new(AppId(1), "B", 48, pattern).starting_at_secs(1.0))
+                .strategy(strategy)
+                .build()
+                .unwrap()
+        })
+        .collect()
+    }
+
+    #[test]
+    fn parallel_scenario_reports_are_bit_identical_to_sequential() {
+        let scenarios = scenario_grid();
+        let sequential: Vec<_> = scenarios.iter().map(|s| s.run().unwrap()).collect();
+        let parallel = run_scenarios(&scenarios, 4).unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn run_scenarios_uses_at_least_two_threads() {
+        // Record which threads execute the sessions: with 4 scenarios and
+        // 4 requested workers, at least two distinct worker threads must
+        // participate.
+        let scenarios: Vec<Scenario> = scenario_grid().into_iter().chain(scenario_grid()).collect();
+        let seen = Mutex::new(HashSet::new());
+        let sessions = scenarios
+            .iter()
+            .map(Session::<SharedTransport>::with_transport)
+            .collect::<Result<Vec<_>, Error>>()
+            .unwrap();
+        let reports: Result<Vec<_>, Error> = parallel_map_owned(sessions, 4, |session| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            session.execute()
+        })
+        .into_iter()
+        .collect();
+        assert_eq!(reports.unwrap().len(), scenarios.len());
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "expected the sweep to fan out over at least two threads"
+        );
+    }
+
+    #[test]
+    fn run_scenarios_surfaces_configuration_errors_before_running() {
+        let mut scenarios = scenario_grid();
+        scenarios[2].apps.clear();
+        let err = run_scenarios(&scenarios, 2).unwrap_err();
+        assert_eq!(err, Error::Config(calciom::ConfigError::NoApplications));
     }
 }

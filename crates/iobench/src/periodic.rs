@@ -9,7 +9,7 @@
 //! per-iteration throughput of the first instance, with and without the
 //! interfering second instance.
 
-use calciom::{Session, SessionConfig};
+use calciom::{Error, Scenario};
 use mpiio::AppConfig;
 use pfs::PfsConfig;
 use serde::{Deserialize, Serialize};
@@ -61,12 +61,12 @@ impl PeriodicResult {
 }
 
 /// Runs the periodic-writer scenario.
-pub fn run_periodic(cfg: &PeriodicConfig) -> Result<PeriodicResult, String> {
-    let mut apps = vec![cfg.app_a.clone()];
-    if let Some(b) = &cfg.app_b {
-        apps.push(b.clone());
-    }
-    let report = Session::run(SessionConfig::new(cfg.pfs.clone(), apps))?;
+pub fn run_periodic(cfg: &PeriodicConfig) -> Result<PeriodicResult, Error> {
+    let report = Scenario::builder(cfg.pfs.clone())
+        .app(cfg.app_a.clone())
+        .apps(cfg.app_b.clone())
+        .build()?
+        .run()?;
     let a_throughputs = report
         .app(cfg.app_a.id)
         .map(|a| a.phase_throughputs())

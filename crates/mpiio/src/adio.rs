@@ -39,6 +39,14 @@ impl Granularity {
             Granularity::Round => "round",
         }
     }
+
+    /// Parses a label produced by [`Granularity::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        Granularity::ALL
+            .iter()
+            .copied()
+            .find(|g| g.label() == label)
+    }
 }
 
 /// The hook positions exposed by the (simulated) ADIO layer. These mirror

@@ -7,6 +7,7 @@
 //! phases it executes and at which period.
 
 use crate::collective::CollectiveConfig;
+use crate::error::ConfigError;
 use crate::pattern::AccessPattern;
 use crate::plan::IoPlan;
 use pfs::{AppId, PfsConfig};
@@ -91,12 +92,16 @@ impl AppConfig {
     }
 
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.procs == 0 {
-            return Err(format!("{}: procs must be at least 1", self.name));
+            return Err(ConfigError::ZeroProcs {
+                app: self.name.clone(),
+            });
         }
         if self.phases == 0 {
-            return Err(format!("{}: phases must be at least 1", self.name));
+            return Err(ConfigError::ZeroPhases {
+                app: self.name.clone(),
+            });
         }
         self.pattern.validate()?;
         self.collective.validate()?;

@@ -9,6 +9,7 @@
 //! to cross-application I/O interference — this asymmetry is exactly what
 //! Fig. 8(b) of the paper shows.
 
+use crate::error::ConfigError;
 use crate::pattern::AccessPattern;
 use serde::{Deserialize, Serialize};
 
@@ -79,12 +80,12 @@ impl CollectiveConfig {
     }
 
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.buffer_bytes <= 0.0 {
-            return Err("collective buffer_bytes must be positive".into());
+            return Err(ConfigError::NonPositiveBufferBytes);
         }
         if self.shuffle_bw <= 0.0 {
-            return Err("collective shuffle_bw must be positive".into());
+            return Err(ConfigError::NonPositiveShuffleBw);
         }
         Ok(())
     }

@@ -1,0 +1,52 @@
+//! Typed configuration errors for the MPI-IO layer.
+//!
+//! Application, pattern and collective-buffering validation all report
+//! through [`ConfigError`] so that the `calciom` session layer can wrap
+//! the failure without losing which field of which application was wrong.
+
+/// A problem found while validating an application description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// An application was configured with zero processes.
+    ZeroProcs {
+        /// Name of the offending application.
+        app: String,
+    },
+    /// An application was configured with zero I/O phases.
+    ZeroPhases {
+        /// Name of the offending application.
+        app: String,
+    },
+    /// A contiguous pattern had a negative per-process size.
+    NegativeBytesPerProc,
+    /// A strided pattern had a negative block size.
+    NegativeBlockSize,
+    /// A strided pattern had zero blocks per process.
+    ZeroBlockCount,
+    /// The collective buffer size was not positive.
+    NonPositiveBufferBytes,
+    /// The collective shuffle bandwidth was not positive.
+    NonPositiveShuffleBw,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroProcs { app } => write!(f, "{app}: procs must be at least 1"),
+            ConfigError::ZeroPhases { app } => write!(f, "{app}: phases must be at least 1"),
+            ConfigError::NegativeBytesPerProc => {
+                write!(f, "bytes_per_proc must be non-negative")
+            }
+            ConfigError::NegativeBlockSize => write!(f, "block_size must be non-negative"),
+            ConfigError::ZeroBlockCount => write!(f, "block_count must be at least 1"),
+            ConfigError::NonPositiveBufferBytes => {
+                write!(f, "collective buffer_bytes must be positive")
+            }
+            ConfigError::NonPositiveShuffleBw => {
+                write!(f, "collective shuffle_bw must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -38,11 +38,13 @@
 pub mod adio;
 pub mod app;
 pub mod collective;
+pub mod error;
 pub mod pattern;
 pub mod plan;
 
 pub use adio::{Granularity, HookPoint};
 pub use app::AppConfig;
 pub use collective::CollectiveConfig;
+pub use error::ConfigError;
 pub use pattern::AccessPattern;
 pub use plan::{IoPlan, IoStep, StepKind};

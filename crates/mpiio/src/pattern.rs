@@ -7,6 +7,7 @@
 //! ROMIO's collective-buffering (two-phase I/O) optimization, which is what
 //! Fig. 8 decomposes into communication and write phases.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Per-process file access pattern.
@@ -66,11 +67,11 @@ impl AccessPattern {
     }
 
     /// Validates the pattern parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         match *self {
             AccessPattern::Contiguous { bytes_per_proc } => {
                 if bytes_per_proc < 0.0 {
-                    return Err("bytes_per_proc must be non-negative".into());
+                    return Err(ConfigError::NegativeBytesPerProc);
                 }
             }
             AccessPattern::Strided {
@@ -78,10 +79,10 @@ impl AccessPattern {
                 block_count,
             } => {
                 if block_size < 0.0 {
-                    return Err("block_size must be non-negative".into());
+                    return Err(ConfigError::NegativeBlockSize);
                 }
                 if block_count == 0 {
-                    return Err("block_count must be at least 1".into());
+                    return Err(ConfigError::ZeroBlockCount);
                 }
             }
         }

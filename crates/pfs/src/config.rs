@@ -8,6 +8,7 @@
 //! (see `EXPERIMENTS.md`); they are not measurements of the original
 //! hardware.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// How a storage server shares its bandwidth between concurrent clients.
@@ -64,30 +65,42 @@ pub struct PfsConfig {
 }
 
 impl PfsConfig {
-    /// Validates the configuration, returning a human-readable error for
-    /// the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning a typed error for the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_servers == 0 {
-            return Err("num_servers must be at least 1".into());
+            return Err(ConfigError::NoServers);
         }
         if self.server_bw.is_nan() || self.server_bw <= 0.0 {
-            return Err("server_bw must be positive".into());
+            return Err(ConfigError::NonPositive { field: "server_bw" });
         }
         if !(self.interference_gamma > 0.0 && self.interference_gamma <= 1.0) {
-            return Err("interference_gamma must be in (0, 1]".into());
+            return Err(ConfigError::GammaOutOfRange {
+                gamma: self.interference_gamma,
+            });
         }
         if self.process_link_bw.is_nan() || self.process_link_bw <= 0.0 {
-            return Err("process_link_bw must be positive".into());
+            return Err(ConfigError::NonPositive {
+                field: "process_link_bw",
+            });
         }
         if self.interconnect_bw.is_nan() || self.interconnect_bw <= 0.0 {
-            return Err("interconnect_bw must be positive (use f64::INFINITY to disable)".into());
+            // Use f64::INFINITY to disable the interconnect ceiling.
+            return Err(ConfigError::NonPositive {
+                field: "interconnect_bw",
+            });
         }
         if let Some(c) = &self.cache {
             if !(c.capacity_bytes > 0.0 && c.absorb_bw > 0.0 && c.drain_bw > 0.0) {
-                return Err("cache parameters must be positive".into());
+                return Err(ConfigError::NonPositive {
+                    field: "cache parameters",
+                });
             }
             if c.drain_bw > c.absorb_bw {
-                return Err("cache drain_bw must not exceed absorb_bw".into());
+                return Err(ConfigError::CacheDrainExceedsAbsorb {
+                    drain_bw: c.drain_bw,
+                    absorb_bw: c.absorb_bw,
+                });
             }
         }
         Ok(())

@@ -9,6 +9,7 @@
 //! thrashing) happen inside this type.
 
 use crate::config::PfsConfig;
+use crate::error::ConfigError;
 use crate::server::ServerState;
 use crate::{AppId, WriteBackCache};
 use serde::{Deserialize, Serialize};
@@ -73,7 +74,7 @@ pub struct Pfs {
 
 impl Pfs {
     /// Builds a file system from a validated configuration.
-    pub fn new(cfg: PfsConfig) -> Result<Self, String> {
+    pub fn new(cfg: PfsConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let mut net = FluidNetwork::new();
         let interconnect = net.add_constraint(cfg.interconnect_bw);

@@ -36,11 +36,13 @@
 
 pub mod cache;
 pub mod config;
+pub mod error;
 pub mod filesystem;
 pub mod server;
 
 pub use cache::WriteBackCache;
 pub use config::{CacheConfig, PfsConfig, SharePolicy};
+pub use error::ConfigError;
 pub use filesystem::{Pfs, TransferId, TransferProgress};
 pub use server::ServerState;
 

@@ -41,4 +41,4 @@ pub mod trace;
 pub use concurrency::ConcurrencyDistribution;
 pub use probability::{probability_concurrent_io, probability_second_arrives_during_first};
 pub use synthetic::{generate, SyntheticTraceConfig, SIZE_BUCKETS};
-pub use trace::{Job, JobTrace};
+pub use trace::{Job, JobTrace, TraceParseError};

@@ -10,6 +10,40 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A problem found while parsing a Standard Workload Format document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// A non-comment line had fewer than the five mandatory SWF fields.
+    TooFewFields {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Number of fields actually present.
+        got: usize,
+    },
+    /// A field could not be parsed as a number.
+    InvalidNumber {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The unparsable field text.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::TooFewFields { line, got } => {
+                write!(f, "line {line}: expected at least 5 SWF fields, got {got}")
+            }
+            TraceParseError::InvalidNumber { line, value } => {
+                write!(f, "line {line}: invalid number '{value}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
 /// One job from a scheduler trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Job {
@@ -112,7 +146,7 @@ impl JobTrace {
     /// the SWF specification): 1 job id, 2 submit time, 3 wait time, 4 run
     /// time, 5 allocated processors. Jobs with non-positive run time or
     /// processor count are skipped (failed/cancelled entries).
-    pub fn parse_swf(text: &str) -> Result<JobTrace, String> {
+    pub fn parse_swf(text: &str) -> Result<JobTrace, TraceParseError> {
         let mut jobs = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -121,16 +155,18 @@ impl JobTrace {
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
             if fields.len() < 5 {
-                return Err(format!(
-                    "line {}: expected at least 5 SWF fields, got {}",
-                    lineno + 1,
-                    fields.len()
-                ));
+                return Err(TraceParseError::TooFewFields {
+                    line: lineno + 1,
+                    got: fields.len(),
+                });
             }
-            let parse = |idx: usize| -> Result<f64, String> {
+            let parse = |idx: usize| -> Result<f64, TraceParseError> {
                 fields[idx]
                     .parse::<f64>()
-                    .map_err(|_| format!("line {}: invalid number '{}'", lineno + 1, fields[idx]))
+                    .map_err(|_| TraceParseError::InvalidNumber {
+                        line: lineno + 1,
+                        value: fields[idx].to_string(),
+                    })
             };
             let id = parse(0)? as u64;
             let submit = parse(1)?;

@@ -11,12 +11,12 @@
 //! Run with `cargo run --release --example checkpoint_vs_analytics`.
 
 use calciom::{
-    AccessPattern, AppConfig, AppId, DynamicPolicy, EfficiencyMetric, Granularity, PfsConfig,
-    Session, SessionConfig, Strategy,
+    AccessPattern, AppConfig, AppId, DynamicPolicy, EfficiencyMetric, Error, Granularity,
+    PfsConfig, Scenario, Session, Strategy,
 };
 use simcore::SimDuration;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Error> {
     let pfs = PfsConfig::grid5000_rennes();
 
     // The simulation: 720 cores, a 23 MB/core checkpoint every 3 simulated
@@ -49,11 +49,13 @@ fn main() -> Result<(), String> {
     )?;
 
     for strategy in [Strategy::Interfere, Strategy::Dynamic] {
-        let cfg = SessionConfig::new(pfs.clone(), vec![simulation.clone(), analytics.clone()])
-            .with_strategy(strategy)
-            .with_granularity(Granularity::Round)
-            .with_policy(DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted));
-        let report = Session::run(cfg)?;
+        let scenario = Scenario::builder(pfs.clone())
+            .apps([simulation.clone(), analytics.clone()])
+            .strategy(strategy)
+            .granularity(Granularity::Round)
+            .policy(DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted))
+            .build()?;
+        let report = scenario.run()?;
 
         let analytics_report = report.app(AppId(1)).unwrap();
         let worst = analytics_report

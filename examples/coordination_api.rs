@@ -3,9 +3,14 @@
 //! Wait / Release), without the simulation driver — the way an I/O library
 //! or a custom middleware would embed it.
 //!
+//! The coordinators talk to the shared arbiter through a
+//! `CoordinationTransport`. This example uses the thread-safe
+//! `SharedTransport`; swap in `LocalTransport` for a single-threaded
+//! embedding with identical behaviour.
+//!
 //! Run with `cargo run --release --example coordination_api`.
 
-use calciom::api::{shared, Coordinator};
+use calciom::api::{CoordinationTransport, Coordinator, SharedTransport};
 use calciom::{
     AccessOutcome, Arbiter, DynamicPolicy, EfficiencyMetric, Granularity, IoInfo, Strategy,
     YieldOutcome,
@@ -29,13 +34,14 @@ fn info(app: AppId, procs: u32, total_secs: f64, remaining_secs: f64) -> IoInfo 
 
 fn main() {
     // The shared coordination state; the decision point minimizes the
-    // CPU·seconds-wasted metric.
-    let arbiter = shared(Arbiter::new(
+    // CPU·seconds-wasted metric. SharedTransport is Send + Sync, so these
+    // coordinators could live on different threads.
+    let transport = SharedTransport::new(Arbiter::new(
         Strategy::Dynamic,
         DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
     ));
-    let mut app_a = Coordinator::new(AppId(0), arbiter.clone());
-    let mut app_b = Coordinator::new(AppId(1), arbiter);
+    let mut app_a = Coordinator::new(AppId(0), transport.clone());
+    let mut app_b = Coordinator::new(AppId(1), transport);
 
     // Application A (2048 cores, 28 s of I/O ahead) starts its phase.
     app_a.prepare(info(AppId(0), 2048, 28.0, 28.0));
@@ -46,6 +52,8 @@ fn main() {
     app_b.prepare(info(AppId(1), 2048, 7.0, 7.0));
     let outcome = app_b.inform();
     println!("B: Inform() -> {outcome:?} (decision pending at A's next coordination point)");
+    // The pending-grant invariant: a refused request is queued, not lost.
+    assert!(!app_b.wait() && app_b.pending());
 
     // A reaches its next ADIO-level coordination point with 21 s of work
     // left; interrupting it costs 2048×7 CPU·s, making B wait costs

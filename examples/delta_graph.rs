@@ -5,10 +5,10 @@
 //!
 //! Run with `cargo run --release --example delta_graph`.
 
-use calciom::{AccessPattern, AppConfig, AppId, PfsConfig, Strategy};
+use calciom::{AccessPattern, AppConfig, AppId, Error, PfsConfig, Strategy};
 use iobench::{dt_range, run_delta_sweep, DeltaSweepConfig, FigureData, Series};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Error> {
     // 744 cores versus 24 cores, 16 MB per process as 8 strides of 2 MB
     // (the Fig. 6 workload).
     let pattern = AccessPattern::strided(2.0e6, 8);

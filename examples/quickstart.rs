@@ -4,12 +4,12 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use calciom::{
-    AccessPattern, AppConfig, AppId, EfficiencyMetric, Granularity, PfsConfig, Session,
-    SessionConfig, Strategy,
+    AccessPattern, AppConfig, AppId, EfficiencyMetric, Error, Granularity, PfsConfig, Scenario,
+    Session, Strategy,
 };
 use std::collections::BTreeMap;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Error> {
     // A Grid'5000-like deployment: 12 storage servers, no write cache.
     let pfs = PfsConfig::grid5000_rennes();
 
@@ -36,10 +36,14 @@ fn main() -> Result<(), String> {
         Strategy::Interrupt,
         Strategy::Dynamic,
     ] {
-        let cfg = SessionConfig::new(pfs.clone(), vec![app_a.clone(), app_b.clone()])
-            .with_strategy(strategy)
-            .with_granularity(Granularity::Round);
-        let report = Session::run(cfg)?;
+        // One serializable description per experiment: the builder is the
+        // same entry point the figure harnesses and the sweeps use.
+        let scenario = Scenario::builder(pfs.clone())
+            .apps([app_a.clone(), app_b.clone()])
+            .strategy(strategy)
+            .granularity(Granularity::Round)
+            .build()?;
+        let report = scenario.run()?;
         let t = |id: usize| report.app(AppId(id)).unwrap().first_phase().io_time();
         println!(
             "{:<16} A: {:>6.2}s (I = {:.2})   B: {:>6.2}s (I = {:.2})   CPU·s wasted: {:>9.0}",
@@ -51,5 +55,14 @@ fn main() -> Result<(), String> {
             report.metric(EfficiencyMetric::CpuSecondsWasted, &alone),
         );
     }
+
+    // Scenarios serialize: the exact same run can be reproduced from text.
+    let scenario = Scenario::builder(pfs)
+        .apps([app_a, app_b])
+        .strategy(Strategy::FcfsSerialize)
+        .build()?;
+    let decoded = Scenario::from_text(&scenario.to_text())?;
+    assert_eq!(decoded.run()?, scenario.run()?);
+    println!("round-tripped scenario reproduces its report bit for bit");
     Ok(())
 }

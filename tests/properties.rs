@@ -3,7 +3,7 @@
 //! the coordination session, and the exchanged-information encoding.
 
 use calciom::{
-    AccessPattern, AppConfig, AppId, Granularity, IoInfo, PfsConfig, Session, SessionConfig,
+    AccessPattern, AppConfig, AppId, Granularity, IoInfo, PfsConfig, Scenario, Session,
     SharePolicy, Strategy,
 };
 use iobench::expected_times;
@@ -189,9 +189,13 @@ proptest! {
         let pfs = pfs_for_tests();
         let alone_a = Session::run_alone(a.clone(), pfs.clone()).unwrap();
         let alone_b = Session::run_alone(b.clone(), pfs.clone()).unwrap();
-        let report = Session::run(
-            SessionConfig::new(pfs, vec![a.clone(), b.clone()]).with_strategy(strategy),
-        ).unwrap();
+        let report = Scenario::builder(pfs)
+            .apps([a.clone(), b.clone()])
+            .strategy(strategy)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
 
         let ra = report.app(AppId(0)).unwrap();
         let rb = report.app(AppId(1)).unwrap();

@@ -1,0 +1,119 @@
+//! Whole-stack tests of the Scenario/Experiment API redesign:
+//!
+//! * a scenario built with the fluent builder, serialized to text and
+//!   decoded again reproduces its `SessionReport` **bit for bit** (the
+//!   determinism convention of DESIGN.md: integer-tick clock, no
+//!   randomness, order-independent event handling);
+//! * the thread-safe `SharedTransport` sweep path of `iobench` produces
+//!   reports identical to the sequential `LocalTransport` path while
+//!   genuinely running sessions on at least two worker threads.
+
+use calciom::{
+    AccessPattern, AppConfig, AppId, DynamicPolicy, EfficiencyMetric, Granularity, PfsConfig,
+    Scenario, Session, SessionReport, SharedTransport, Strategy,
+};
+use iobench::{parallel_map_owned, run_scenarios};
+use simcore::SimDuration;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+const MB: f64 = 1.0e6;
+
+fn scenarios_under_test() -> Vec<Scenario> {
+    let strided = AccessPattern::strided(2.0 * MB, 8);
+    let contiguous = AccessPattern::contiguous(16.0 * MB);
+    vec![
+        // The Fig. 6 headline workload: big vs small, uncoordinated.
+        Scenario::builder(PfsConfig::grid5000_rennes())
+            .app(AppConfig::new(AppId(0), "big", 744, strided))
+            .app(AppConfig::new(AppId(1), "small", 24, strided).starting_at_secs(3.0))
+            .build()
+            .unwrap(),
+        // Interruption at file granularity with a multi-file writer.
+        Scenario::builder(PfsConfig::surveyor())
+            .app(
+                AppConfig::new(AppId(0), "A", 2048, AccessPattern::strided(4.0 * MB, 1))
+                    .with_files(4),
+            )
+            .app(AppConfig::new(
+                AppId(1),
+                "B",
+                2048,
+                AccessPattern::strided(4.0 * MB, 1),
+            ))
+            .strategy(Strategy::Interrupt)
+            .granularity(Granularity::File)
+            .build()
+            .unwrap(),
+        // Periodic writers against a caching backend, bounded delay.
+        Scenario::builder(PfsConfig::grid5000_nancy())
+            .app(
+                AppConfig::new(AppId(0), "periodic", 336, contiguous)
+                    .with_periodic_phases(3, SimDuration::from_secs(10.0)),
+            )
+            .app(AppConfig::new(AppId(1), "burst", 336, contiguous).starting_at_secs(2.0))
+            .strategy(Strategy::Delay { max_wait_secs: 2.5 })
+            .policy(DynamicPolicy::new(EfficiencyMetric::TotalIoTime))
+            .coordination_overhead(SimDuration::from_millis(5.0))
+            .build()
+            .unwrap(),
+        // Dynamic selection, the CALCioM contribution.
+        Scenario::builder(PfsConfig::grid5000_rennes())
+            .app(AppConfig::new(AppId(0), "A", 512, strided).with_files(2))
+            .app(AppConfig::new(AppId(1), "B", 512, strided).starting_at_secs(4.0))
+            .strategy(Strategy::Dynamic)
+            .build()
+            .unwrap(),
+    ]
+}
+
+#[test]
+fn serde_round_trip_reproduces_reports_bit_identically() {
+    for scenario in scenarios_under_test() {
+        let text = scenario.to_text();
+        let decoded = Scenario::from_text(&text).unwrap();
+        assert_eq!(decoded, scenario, "decoded scenario differs");
+        // Encoding is stable…
+        assert_eq!(decoded.to_text(), text);
+        // …and the decoded scenario replays the exact same simulation:
+        // SessionReport is all f64s/SimTimes, so PartialEq equality here
+        // is bit-identity.
+        let original = scenario.run().unwrap();
+        let replayed = decoded.run().unwrap();
+        assert_eq!(
+            replayed, original,
+            "round-tripped scenario must reproduce the report bit for bit"
+        );
+    }
+}
+
+#[test]
+fn shared_transport_sweep_matches_sequential_and_uses_multiple_threads() {
+    let scenarios = scenarios_under_test();
+
+    // Sequential reference over the local (Rc<RefCell>) transport.
+    let sequential: Vec<SessionReport> = scenarios.iter().map(|s| s.run().unwrap()).collect();
+
+    // Parallel sweep: sessions built over Arc<Mutex<Arbiter>> on this
+    // thread, executed on worker threads. Track which threads actually ran
+    // sessions to prove the fan-out is real.
+    let seen = Mutex::new(HashSet::new());
+    let sessions = scenarios
+        .iter()
+        .map(|s| Session::<SharedTransport>::with_transport(s).unwrap())
+        .collect::<Vec<_>>();
+    let parallel: Vec<SessionReport> = parallel_map_owned(sessions, scenarios.len(), |session| {
+        seen.lock().unwrap().insert(std::thread::current().id());
+        session.execute().unwrap()
+    });
+
+    assert_eq!(parallel, sequential, "transport must not change reports");
+    assert!(
+        seen.lock().unwrap().len() >= 2,
+        "the sweep must run sessions on at least two threads"
+    );
+
+    // And the high-level helper agrees with both.
+    let via_helper = run_scenarios(&scenarios, 0).unwrap();
+    assert_eq!(via_helper, sequential);
+}

@@ -4,7 +4,7 @@
 
 use calciom::{
     AccessPattern, AppConfig, AppId, DynamicPolicy, EfficiencyMetric, Granularity, PfsConfig,
-    Session, SessionConfig, Strategy,
+    Scenario, Session, Strategy,
 };
 use iobench::{compare_strategies, dt_range, run_delta_sweep, DeltaSweepConfig};
 use std::collections::BTreeMap;
@@ -104,11 +104,14 @@ fn dynamic_choice_is_never_worse_than_fixed_strategies() {
             ),
         ]);
         let metric = |strategy: Strategy| -> f64 {
-            let cfg = SessionConfig::new(pfs.clone(), vec![a.clone(), b_dt.clone()])
-                .with_strategy(strategy)
-                .with_granularity(Granularity::File)
-                .with_policy(DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted));
-            Session::run(cfg)
+            Scenario::builder(pfs.clone())
+                .apps([a.clone(), b_dt.clone()])
+                .strategy(strategy)
+                .granularity(Granularity::File)
+                .policy(DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted))
+                .build()
+                .unwrap()
+                .run()
                 .unwrap()
                 .metric(EfficiencyMetric::CpuSecondsWasted, &alone)
         };
@@ -154,10 +157,13 @@ fn bytes_written_are_conserved_across_strategies() {
         Strategy::Dynamic,
         Strategy::Delay { max_wait_secs: 2.0 },
     ] {
-        let report = Session::run(
-            SessionConfig::new(PfsConfig::grid5000_rennes(), apps.clone()).with_strategy(strategy),
-        )
-        .unwrap();
+        let report = Scenario::builder(PfsConfig::grid5000_rennes())
+            .apps(apps.clone())
+            .strategy(strategy)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         for (report_app, cfg) in report.apps.iter().zip(&apps) {
             let written: f64 = report_app.phases.iter().map(|p| p.bytes).sum();
             assert!(
@@ -188,12 +194,14 @@ fn coordination_message_count_is_modest() {
         AppConfig::new(AppId(0), "A", 720, pattern),
         AppConfig::new(AppId(1), "B", 48, pattern).starting_at_secs(1.0),
     ];
-    let report = Session::run(
-        SessionConfig::new(PfsConfig::grid5000_rennes(), apps)
-            .with_strategy(Strategy::Interrupt)
-            .with_granularity(Granularity::Round),
-    )
-    .unwrap();
+    let report = Scenario::builder(PfsConfig::grid5000_rennes())
+        .apps(apps)
+        .strategy(Strategy::Interrupt)
+        .granularity(Granularity::Round)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     // One update + one check per round-level yield point for each app, plus
     // the request/release handshakes: well under a thousand messages for
     // this workload, and completely independent of the bytes moved.
