@@ -9,7 +9,7 @@
 
 use calciom::{
     AccessPattern, AppConfig, AppId, DynamicPolicy, EfficiencyMetric, Granularity, PfsConfig,
-    Scenario, Strategy,
+    Scenario, Session, Strategy, TimelineAggregator, TraceRecorder,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use iobench::{run_delta_sweep, run_periodic, DeltaSweepConfig, PeriodicConfig};
@@ -94,6 +94,53 @@ fn bench_fig04_size_sweep(c: &mut Criterion) {
             black_box(report.app(AppId(1)).unwrap().first_phase().io_time())
         })
     });
+}
+
+fn bench_fig05_observed_session(c: &mut Criterion) {
+    // The observer-overhead story: the same contended session unobserved
+    // (NullObserver — the zero-cost default), folding a timeline, and
+    // recording a full trace.
+    let scenario = || {
+        Scenario::builder(PfsConfig::grid5000_rennes())
+            .app(AppConfig::new(
+                AppId(0),
+                "A",
+                720,
+                AccessPattern::strided(2.0 * MB, 8),
+            ))
+            .app(
+                AppConfig::new(AppId(1), "B", 48, AccessPattern::contiguous(8.0 * MB))
+                    .starting_at_secs(2.0),
+            )
+            .strategy(Strategy::Interrupt)
+            .build()
+            .unwrap()
+    };
+    let mut group = c.benchmark_group("fig05_observed_session");
+    group.bench_function("null_observer", |bench| {
+        let s = scenario();
+        bench.iter(|| black_box(s.run().unwrap().makespan))
+    });
+    group.bench_function("timeline_aggregator", |bench| {
+        let s = scenario();
+        bench.iter(|| {
+            let mut agg = TimelineAggregator::new();
+            Session::new(&s).unwrap().execute_with(&mut agg).unwrap();
+            black_box(agg.finish().intervals.len())
+        })
+    });
+    group.bench_function("trace_recorder", |bench| {
+        let s = scenario();
+        bench.iter(|| {
+            let mut recorder = TraceRecorder::for_scenario(&s);
+            Session::new(&s)
+                .unwrap()
+                .execute_with(&mut recorder)
+                .unwrap();
+            black_box(recorder.into_trace().len())
+        })
+    });
+    group.finish();
 }
 
 fn bench_fig06_unequal_delta(c: &mut Criterion) {
@@ -233,6 +280,7 @@ criterion_group!(
         bench_fig02_delta,
         bench_fig03_cache,
         bench_fig04_size_sweep,
+        bench_fig05_observed_session,
         bench_fig06_unequal_delta,
         bench_fig07_fcfs,
         bench_fig08_collective,

@@ -6,7 +6,10 @@ use calciom_bench::Registry;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = match calciom_bench::cli::parse_options_or_fail(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
     calciom_bench::cli::run_named(
         &Registry::standard(),
         &[
@@ -14,6 +17,6 @@ fn main() -> ExitCode {
             "ablation_share_policy",
             "ablation_coordination_overhead",
         ],
-        quick,
+        &opts,
     )
 }

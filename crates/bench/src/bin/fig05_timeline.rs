@@ -1,0 +1,10 @@
+//! Regenerates the data behind the fig05_timeline experiment through the
+//! experiment registry. Pass `--quick` for a reduced sweep, `--trace` to
+//! record + verify the session traces, `--timeline` to print the derived
+//! Gantt/bandwidth timelines.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    calciom_bench::cli::figure_main("fig05_timeline")
+}

@@ -4,20 +4,65 @@
 //! the `all_figures` binary goes through [`all_figures_main`]. Both
 //! resolve experiments through the [`Registry`], so binaries never
 //! duplicate argument handling or experiment wiring.
+//!
+//! Flags (combinable, honoured by every experiment that supports them):
+//!
+//! * `--quick` — reduced parameter sweeps (the CI configuration);
+//! * `--trace` — record the experiment's key sessions, verify each trace
+//!   survives its text codec exactly (replay being a pure fold, the
+//!   decoded copy then also replays to the same report), and print a
+//!   `codec round-trip OK` line per trace;
+//! * `--timeline` — print the derived Gantt/bandwidth timeline of each
+//!   key session.
 
+use crate::experiment::RunOptions;
 use crate::Registry;
+use calciom::Trace;
 use std::process::ExitCode;
 
 /// Entry point of a single-figure binary: runs the named experiment,
-/// honouring a `--quick` argument for the reduced sweep.
+/// honouring the shared flags (`--quick`, `--trace`, `--timeline`).
 pub fn figure_main(name: &str) -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
-    run_named(&Registry::standard(), &[name], quick)
+    let opts = match parse_options_or_fail(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+    run_named(&Registry::standard(), &[name], &opts)
 }
 
-/// Runs the given experiments in order, printing each rendered figure.
-/// Stops with a failure exit code at the first unknown name or failed run.
-pub fn run_named(registry: &Registry, names: &[&str], quick: bool) -> ExitCode {
+/// [`parse_options`] with the CLI error convention applied: an unknown
+/// flag prints the one canonical message and yields the failure exit
+/// code. Every binary entry point goes through this, so the flag list in
+/// the message has a single home.
+pub fn parse_options_or_fail(args: impl Iterator<Item = String>) -> Result<RunOptions, ExitCode> {
+    parse_options(args).map_err(|unknown| {
+        eprintln!("unknown flag '{unknown}' (expected --quick, --trace, --timeline)");
+        ExitCode::FAILURE
+    })
+}
+
+/// Parses the shared flags out of an argument stream. Non-flag tokens are
+/// left for the caller (experiment names); an *unknown* flag is an error —
+/// a typoed `--trcae` must fail loudly, not silently run without tracing.
+pub fn parse_options(args: impl Iterator<Item = String>) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--trace" => opts.trace = true,
+            "--timeline" => opts.timeline = true,
+            other if other.starts_with("--") => return Err(other.to_string()),
+            _ => {}
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the given experiments in order, printing each rendered figure and
+/// any requested observability artifacts. Stops with a failure exit code
+/// at the first unknown name, failed run, or trace that does not survive
+/// its own codec.
+pub fn run_named(registry: &Registry, names: &[&str], opts: &RunOptions) -> ExitCode {
     for name in names {
         let Some(experiment) = registry.get(name) else {
             eprintln!(
@@ -25,8 +70,19 @@ pub fn run_named(registry: &Registry, names: &[&str], quick: bool) -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        match experiment.run(quick) {
-            Ok(output) => println!("{}", output.render()),
+        match experiment.run_with(opts) {
+            Ok(output) => {
+                println!("{}", output.figure.render());
+                for (label, trace) in &output.traces {
+                    if !verify_trace(name, label, trace) {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                for (label, timeline) in &output.timelines {
+                    println!("==== {name} timeline [{label}] ====");
+                    println!("{}", timeline.render_text());
+                }
+            }
             Err(error) => {
                 eprintln!("{name}: {error}");
                 return ExitCode::FAILURE;
@@ -36,15 +92,44 @@ pub fn run_named(registry: &Registry, names: &[&str], quick: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Round-trips a recorded trace through the text codec and checks the
+/// decoded copy is identical (which, replay being a pure fold of the
+/// trace, also guarantees it replays to the same report). Prints one
+/// status line.
+fn verify_trace(name: &str, label: &str, trace: &Trace) -> bool {
+    let text = trace.to_text();
+    match Trace::from_text(&text) {
+        Ok(decoded) if &decoded == trace => {
+            println!(
+                "trace {name} [{label}]: {} events, codec round-trip OK",
+                trace.len()
+            );
+            true
+        }
+        Ok(_) => {
+            eprintln!("trace {name} [{label}]: codec round-trip diverged");
+            false
+        }
+        Err(error) => {
+            eprintln!("trace {name} [{label}]: codec round-trip failed: {error}");
+            false
+        }
+    }
+}
+
 /// Entry point of the `all_figures` binary.
 ///
 /// * `all_figures` — run every registered experiment in paper order;
 /// * `all_figures list` — print the registered names and descriptions;
 /// * `all_figures <name>...` — run the named experiments only;
-/// * `--quick` (combinable with the above) — reduced sweeps.
+/// * `--quick` / `--trace` / `--timeline` (combinable with the above) —
+///   reduced sweeps / recorded+verified traces / printed timelines.
 pub fn all_figures_main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let opts = match parse_options_or_fail(args.iter().cloned()) {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
     let registry = Registry::standard();
 
     if args.iter().any(|a| a == "list") {
@@ -56,18 +141,53 @@ pub fn all_figures_main() -> ExitCode {
 
     let names: Vec<&str> = args
         .iter()
-        .filter(|a| a.as_str() != "--quick")
+        .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
     if names.is_empty() {
         for name in registry.names() {
             eprintln!("running {name} ...");
-            let code = run_named(&registry, &[name], quick);
+            let code = run_named(&registry, &[name], &opts);
             if code != ExitCode::SUCCESS {
                 return code;
             }
         }
         return ExitCode::SUCCESS;
     }
-    run_named(&registry, &names, quick)
+    run_named(&registry, &names, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_in_any_mix() {
+        let parse = |args: &[&str]| parse_options(args.iter().map(|a| a.to_string()));
+        assert_eq!(parse(&[]), Ok(RunOptions::default()));
+        let all = parse(&["fig05_timeline", "--quick", "--timeline", "--trace"]).unwrap();
+        assert!(all.quick && all.trace && all.timeline);
+        let quick = parse(&["--quick"]).unwrap();
+        assert!(quick.quick && !quick.trace && !quick.timeline);
+        // A typoed flag fails loudly instead of silently running the full
+        // sweep without the requested observation.
+        assert_eq!(parse(&["--trcae"]), Err("--trcae".to_string()));
+    }
+
+    #[test]
+    fn run_named_rejects_unknown_experiments() {
+        let registry = Registry::standard();
+        let code = run_named(&registry, &["fig99_warp"], &RunOptions::new(true));
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn run_named_prints_observed_fig05() {
+        // Exercises the full CLI path CI uses, including trace
+        // verification (failure would return a failing exit code).
+        let registry = Registry::standard();
+        let opts = RunOptions::new(true).with_trace().with_timeline();
+        let code = run_named(&registry, &["fig05_timeline"], &opts);
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
 }

@@ -10,7 +10,67 @@
 
 use crate::figures;
 use crate::figures::FigureOutput;
-use calciom::Error;
+use calciom::{Error, Timeline, Trace};
+
+/// How an experiment should be run, and which observability artifacts it
+/// should attach to its output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Run the reduced CI parameter sweep instead of full resolution.
+    pub quick: bool,
+    /// Attach recorded [`Trace`]s for the experiment's key sessions
+    /// (`--trace` on the CLI).
+    pub trace: bool,
+    /// Attach derived [`Timeline`]s (`--timeline` on the CLI).
+    pub timeline: bool,
+}
+
+impl RunOptions {
+    /// Options for a plain (unobserved) run.
+    pub fn new(quick: bool) -> Self {
+        RunOptions {
+            quick,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Requests trace attachments.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Requests timeline attachments.
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = true;
+        self
+    }
+}
+
+/// The result of one experiment run: the figure plus whatever
+/// observability artifacts the [`RunOptions`] requested (and the
+/// experiment supports — experiments without observable sessions return
+/// the figure alone).
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// The rendered figure.
+    pub figure: FigureOutput,
+    /// Labelled traces of the experiment's key sessions.
+    pub traces: Vec<(String, Trace)>,
+    /// Labelled timelines of the experiment's key sessions.
+    pub timelines: Vec<(String, Timeline)>,
+}
+
+impl ExperimentOutput {
+    /// An output carrying only the figure.
+    pub fn figure_only(figure: FigureOutput) -> Self {
+        ExperimentOutput {
+            figure,
+            traces: Vec::new(),
+            timelines: Vec::new(),
+        }
+    }
+}
 
 /// One named experiment: a figure of the paper or an ablation study.
 pub trait Experiment: Sync {
@@ -24,6 +84,14 @@ pub trait Experiment: Sync {
     /// Executes the experiment. `quick` runs the reduced parameter sweep
     /// used in CI; `false` reproduces the figure at full resolution.
     fn run(&self, quick: bool) -> Result<FigureOutput, Error>;
+
+    /// Executes the experiment with observability options. The default
+    /// delegates to [`Experiment::run`] and attaches nothing; experiments
+    /// whose sessions are worth watching (e.g. `fig05_timeline`) override
+    /// this to attach traces/timelines when asked.
+    fn run_with(&self, opts: &RunOptions) -> Result<ExperimentOutput, Error> {
+        Ok(ExperimentOutput::figure_only(self.run(opts.quick)?))
+    }
 }
 
 /// The set of registered experiments, in paper order.
@@ -39,9 +107,10 @@ impl Registry {
         }
     }
 
-    /// The standard registry: the twelve figure experiments reproduced
-    /// from the paper (Figs. 1–12 and the Sec. II-B probability panel)
-    /// plus the three ablation studies, in paper order.
+    /// The standard registry: the figure experiments reproduced from the
+    /// paper (Figs. 1–12 and the Sec. II-B probability panel), the fig05
+    /// bandwidth-timeline companion, and the three ablation studies, in
+    /// paper order.
     pub fn standard() -> Self {
         let mut registry = Registry::new();
         registry.register(Box::new(figures::fig01::Fig01));
@@ -49,6 +118,7 @@ impl Registry {
         registry.register(Box::new(figures::fig02::Fig02));
         registry.register(Box::new(figures::fig03::Fig03));
         registry.register(Box::new(figures::fig04::Fig04));
+        registry.register(Box::new(figures::fig05::Fig05));
         registry.register(Box::new(figures::fig06::Fig06));
         registry.register(Box::new(figures::fig07::Fig07));
         registry.register(Box::new(figures::fig08::Fig08));
@@ -119,7 +189,7 @@ mod tests {
     #[test]
     fn standard_registry_has_every_figure_and_ablation() {
         let registry = Registry::standard();
-        assert_eq!(registry.len(), 15);
+        assert_eq!(registry.len(), 16);
         assert!(!registry.is_empty());
         for name in [
             "fig01_workload",
@@ -127,6 +197,7 @@ mod tests {
             "fig02_delta_equal",
             "fig03_cache",
             "fig04_small_vs_big",
+            "fig05_timeline",
             "fig06_split_delta",
             "fig07_fcfs",
             "fig08_collective",
@@ -146,7 +217,36 @@ mod tests {
                 "{name}: empty description"
             );
         }
-        assert!(registry.get("fig05_does_not_exist").is_none());
+        assert!(registry.get("fig13_does_not_exist").is_none());
+    }
+
+    #[test]
+    fn default_run_with_attaches_nothing() {
+        let registry = Registry::standard();
+        let experiment = registry.get("sec2b_probability").unwrap();
+        let opts = RunOptions::new(true).with_trace().with_timeline();
+        let output = experiment.run_with(&opts).unwrap();
+        assert!(output.traces.is_empty());
+        assert!(output.timelines.is_empty());
+        assert!(!output.figure.render().is_empty());
+    }
+
+    #[test]
+    fn fig05_attaches_traces_and_timelines_on_request() {
+        let registry = Registry::standard();
+        let experiment = registry.get("fig05_timeline").unwrap();
+        let plain = experiment.run_with(&RunOptions::new(true)).unwrap();
+        assert!(plain.traces.is_empty() && plain.timelines.is_empty());
+        let observed = experiment
+            .run_with(&RunOptions::new(true).with_trace().with_timeline())
+            .unwrap();
+        assert_eq!(observed.traces.len(), 3, "one trace per strategy");
+        assert_eq!(observed.timelines.len(), 3);
+        for (label, trace) in &observed.traces {
+            assert!(!trace.is_empty(), "{label}: empty trace");
+            // The codec round-trips every attached trace.
+            assert_eq!(&calciom::Trace::from_text(&trace.to_text()).unwrap(), trace);
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ pub mod fig01;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04;
+pub mod fig05;
 pub mod fig06;
 pub mod fig07;
 pub mod fig08;

@@ -19,5 +19,5 @@ pub mod cli;
 pub mod experiment;
 pub mod figures;
 
-pub use experiment::{Experiment, Registry};
+pub use experiment::{Experiment, ExperimentOutput, Registry, RunOptions};
 pub use figures::FigureOutput;

@@ -31,8 +31,10 @@
 
 use crate::arbiter::Arbiter;
 use crate::info::IoInfo;
+use crate::observe::{GrantKind, NullObserver, SimEvent, SimObserver};
 use crate::strategy::{AccessOutcome, YieldOutcome};
 use pfs::AppId;
+use simcore::time::SimTime;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
@@ -96,21 +98,53 @@ impl CoordinationTransport for SharedTransport {
 /// Per-application facade over the CALCioM coordination protocol, exposing
 /// the API of Section III-C of the paper over any
 /// [`CoordinationTransport`].
+///
+/// A coordinator is *observable*: build it with
+/// [`Coordinator::with_observer`] and every protocol decision (requests,
+/// grants, interruptions, delay bounds) is streamed to the observer as
+/// [`SimEvent`]s, stamped with the coordinator's clock (advanced by the
+/// embedding driver through [`Coordinator::set_now`]). The default
+/// observer is the zero-cost [`NullObserver`].
 #[derive(Clone)]
-pub struct Coordinator<T: CoordinationTransport = LocalTransport> {
+pub struct Coordinator<T: CoordinationTransport = LocalTransport, O: SimObserver = NullObserver> {
     app: AppId,
     transport: T,
     prepared: Vec<IoInfo>,
+    observer: O,
+    now: SimTime,
+    blocked: Option<Blocked>,
 }
 
-impl<T: CoordinationTransport> Coordinator<T> {
+/// Why an observed coordinator is currently blocked (drives which grant
+/// event a successful [`Coordinator::wait`] emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Queued in the arbiter since `inform()`.
+    Queued,
+    /// Preempted at a yield point.
+    Interrupted,
+}
+
+impl<T: CoordinationTransport> Coordinator<T, NullObserver> {
     /// Creates the coordinator for application `app`, attached to the
-    /// shared coordination state.
+    /// shared coordination state, with no observer.
     pub fn new(app: AppId, transport: T) -> Self {
+        Coordinator::with_observer(app, transport, NullObserver)
+    }
+}
+
+impl<T: CoordinationTransport, O: SimObserver> Coordinator<T, O> {
+    /// Creates an observed coordinator: every protocol decision is
+    /// streamed to `observer` (stamped with the clock set through
+    /// [`Coordinator::set_now`]).
+    pub fn with_observer(app: AppId, transport: T, observer: O) -> Self {
         Coordinator {
             app,
             transport,
             prepared: Vec::new(),
+            observer,
+            now: SimTime::ZERO,
+            blocked: None,
         }
     }
 
@@ -122,6 +156,32 @@ impl<T: CoordinationTransport> Coordinator<T> {
     /// The transport this coordinator communicates through.
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// Advances the coordinator's clock: subsequent observed events are
+    /// stamped with `now`. The clock never goes backwards.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = self.now.max(now);
+    }
+
+    /// The coordinator's current clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Consumes the coordinator, returning its observer (e.g. to take a
+    /// recorded trace out).
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    fn emit(&mut self, event: SimEvent) {
+        self.observer.on_event(self.now, &event);
     }
 
     /// `Prepare(MPI_Info info)`: stacks information about the upcoming I/O
@@ -138,19 +198,49 @@ impl<T: CoordinationTransport> Coordinator<T> {
     /// `Inform()`: sends the currently prepared information to the other
     /// running applications and registers this application's desire to
     /// access the file system. Returns the immediate outcome.
+    ///
+    /// Observed as [`SimEvent::AccessRequested`] followed by
+    /// [`SimEvent::AccessGranted`] (immediate grant) or
+    /// [`SimEvent::DelayBounded`] (bounded-delay refusal); a plain
+    /// `MustWait` emits only the request — the grant is observed when
+    /// [`Coordinator::wait`] later succeeds.
     pub fn inform(&mut self) -> AccessOutcome {
         let app = self.app;
         let info = self.prepared.last().cloned();
-        self.transport.with(|arb| {
+        self.emit(SimEvent::AccessRequested { app });
+        let outcome = self.transport.with(|arb| {
             if let Some(info) = info {
                 arb.update_info(info);
             }
             arb.request_access(app)
-        })
+        });
+        match outcome {
+            AccessOutcome::Granted => {
+                self.blocked = None;
+                self.emit(SimEvent::AccessGranted {
+                    app,
+                    grant: GrantKind::Immediate,
+                });
+            }
+            AccessOutcome::MustWait => self.blocked = Some(Blocked::Queued),
+            AccessOutcome::MustWaitAtMost(secs) => {
+                self.blocked = Some(Blocked::Queued);
+                self.emit(SimEvent::DelayBounded {
+                    app,
+                    max_wait_secs: secs,
+                });
+            }
+        }
+        outcome
     }
 
     /// `Check(int* authorized)`: non-blocking query of whether this
     /// application is currently allowed to access the file system.
+    ///
+    /// A pure query: it does not conclude an observed wait. A driver that
+    /// spins on `check` should call [`Coordinator::wait`] (or
+    /// [`Coordinator::delay_elapsed`] on budget expiry) once it sees
+    /// `true`, so the grant is emitted to the observer.
     pub fn check(&self) -> bool {
         self.transport.with(|arb| arb.is_granted(self.app))
     }
@@ -173,30 +263,90 @@ impl<T: CoordinationTransport> Coordinator<T> {
     /// accessor(s) release or yield, so spinning on `check` terminates.
     /// Calling `wait` without a preceding [`Coordinator::inform`] is a
     /// protocol violation and trips a debug assertion.
-    pub fn wait(&self) -> bool {
+    pub fn wait(&mut self) -> bool {
         let app = self.app;
-        self.transport.with(|arb| {
+        let granted = self.transport.with(|arb| {
             let granted = arb.is_granted(app);
             debug_assert!(
                 granted || arb.is_pending(app),
                 "wait() for {app} without a queued request: call inform() first"
             );
             granted
-        })
+        });
+        if granted {
+            match self.blocked.take() {
+                Some(Blocked::Queued) => self.emit(SimEvent::AccessGranted {
+                    app,
+                    grant: GrantKind::AfterWait,
+                }),
+                Some(Blocked::Interrupted) => self.emit(SimEvent::Resumed { app }),
+                None => {}
+            }
+        }
+        granted
     }
 
     /// Coordination point between two atomic accesses (the ADIO-level
     /// `Release(); Inform(); Check()` sequence): refreshes the shared
     /// information and asks whether the application should yield.
+    /// Observed as [`SimEvent::Interrupted`] when the answer is
+    /// [`YieldOutcome::YieldNow`]; the later re-grant surfaces as
+    /// [`SimEvent::Resumed`] from the [`Coordinator::wait`] that sees it.
     pub fn yield_point(&mut self, refreshed: Option<IoInfo>) -> YieldOutcome {
         let app = self.app;
         let info = refreshed.or_else(|| self.prepared.last().cloned());
-        self.transport.with(|arb| {
+        let outcome = self.transport.with(|arb| {
             if let Some(info) = info {
                 arb.update_info(info);
             }
             arb.yield_point(app)
-        })
+        });
+        if outcome == YieldOutcome::YieldNow {
+            self.blocked = Some(Blocked::Interrupted);
+            self.emit(SimEvent::Interrupted { app });
+        }
+        outcome
+    }
+
+    /// The bounded-delay budget announced by a
+    /// [`SimEvent::DelayBounded`] answer has expired: force the queued
+    /// request through ([`Arbiter::force_grant`]) and proceed, overlapping
+    /// the current accessor — the [`Strategy::Delay`](crate::Strategy)
+    /// trade-off. Returns whether a pending request was actually forced
+    /// (`false` when the grant had already arrived or nothing was
+    /// pending).
+    ///
+    /// Observed as [`SimEvent::AccessGranted`]: with
+    /// [`GrantKind::DelayElapsed`] when the request really had to be
+    /// forced — the same vocabulary [`Session`](crate::Session) uses when
+    /// its internal delay timer fires — or with [`GrantKind::AfterWait`]
+    /// when the arbiter had already handed the slot over within the
+    /// budget (an ordinary queue handover the driver just had not
+    /// observed yet). Either way the pending request is concluded and
+    /// observed exactly once.
+    pub fn delay_elapsed(&mut self) -> bool {
+        let app = self.app;
+        if self.blocked.is_none() {
+            return false;
+        }
+        let forced = self.transport.with(|arb| {
+            if arb.is_granted(app) {
+                false
+            } else {
+                arb.force_grant(app);
+                true
+            }
+        });
+        self.blocked = None;
+        self.emit(SimEvent::AccessGranted {
+            app,
+            grant: if forced {
+                GrantKind::DelayElapsed
+            } else {
+                GrantKind::AfterWait
+            },
+        });
+        forced
     }
 
     /// `Release()` at the end of the I/O phase: gives up the access slot,
@@ -207,11 +357,12 @@ impl<T: CoordinationTransport> Coordinator<T> {
     }
 }
 
-impl<T: CoordinationTransport> std::fmt::Debug for Coordinator<T> {
+impl<T: CoordinationTransport, O: SimObserver> std::fmt::Debug for Coordinator<T, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Coordinator")
             .field("app", &self.app)
             .field("prepared", &self.prepared.len())
+            .field("now", &self.now)
             .finish()
     }
 }
@@ -373,5 +524,85 @@ mod tests {
         assert_eq!(a.app(), AppId(0));
         let dbg = format!("{a:?}");
         assert!(dbg.contains("Coordinator"));
+    }
+
+    #[test]
+    fn delay_elapsed_forces_the_grant_and_reports_it() {
+        let (mut a, mut b) = pair(Strategy::Delay { max_wait_secs: 2.0 });
+        a.prepare(info(0, 336, 12.0, 12.0));
+        assert_eq!(a.inform(), AccessOutcome::Granted);
+        b.prepare(info(1, 336, 12.0, 12.0));
+        assert_eq!(b.inform(), AccessOutcome::MustWaitAtMost(2.0));
+        assert!(!b.wait());
+        // The driver's budget timer fires: B proceeds, overlapping A.
+        assert!(b.delay_elapsed());
+        assert!(b.check() && a.check(), "both overlap after the budget");
+        // Idempotent: nothing is pending the second time.
+        assert!(!b.delay_elapsed());
+        // Without a preceding refusal the call is a no-op.
+        assert!(!a.delay_elapsed());
+    }
+
+    #[test]
+    fn observed_coordinator_streams_the_protocol() {
+        use simcore::observe::EventLog;
+
+        /// Collects the coordination stream for inspection.
+        #[derive(Default, Clone)]
+        struct Collector(EventLog<SimEvent>);
+        impl SimObserver for Collector {
+            fn on_event(&mut self, at: SimTime, event: &SimEvent) {
+                self.0.push(at, *event);
+            }
+        }
+
+        let transport = LocalTransport::new(arbiter(Strategy::Interrupt));
+        let mut a = Coordinator::with_observer(AppId(0), transport.clone(), Collector::default());
+        let mut b = Coordinator::with_observer(AppId(1), transport, Collector::default());
+
+        a.prepare(info(0, 2048, 28.0, 28.0));
+        a.inform();
+        b.set_now(SimTime::from_secs(2.0));
+        b.prepare(info(1, 2048, 7.0, 7.0));
+        assert_eq!(b.inform(), AccessOutcome::MustWait);
+        assert!(!b.wait());
+
+        a.set_now(SimTime::from_secs(3.0));
+        assert_eq!(
+            a.yield_point(Some(info(0, 2048, 28.0, 21.0))),
+            YieldOutcome::YieldNow
+        );
+        b.set_now(SimTime::from_secs(3.0));
+        assert!(b.wait(), "B granted after A yields");
+        b.set_now(SimTime::from_secs(9.0));
+        b.release();
+        a.set_now(SimTime::from_secs(9.0));
+        assert!(a.wait(), "A resumes after B releases");
+
+        let kinds = |c: &Coordinator<LocalTransport, Collector>| -> Vec<&'static str> {
+            c.observer().0.iter().map(|e| e.event.kind()).collect()
+        };
+        assert_eq!(
+            kinds(&a),
+            vec![
+                "access-requested",
+                "access-granted",
+                "interrupted",
+                "resumed"
+            ]
+        );
+        assert_eq!(kinds(&b), vec!["access-requested", "access-granted"]);
+        // Events carry the driver-advanced clock.
+        let b_events = b.into_observer().0;
+        assert_eq!(b_events.events()[0].time, SimTime::from_secs(2.0));
+        assert_eq!(b_events.last_time(), Some(SimTime::from_secs(3.0)));
+        // B's grant arrived after waiting, not immediately.
+        assert!(matches!(
+            b_events.events()[1].event,
+            SimEvent::AccessGranted {
+                grant: GrantKind::AfterWait,
+                ..
+            }
+        ));
     }
 }

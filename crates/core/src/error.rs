@@ -4,9 +4,10 @@
 //! via re-export, of the `iobench` harness): configuration problems from
 //! the substrate crates are wrapped into [`ConfigError`], runtime failures
 //! of a simulation into [`SessionError`], and problems decoding a
-//! serialized [`Scenario`](crate::Scenario) or an exchanged `MPI_Info`
-//! payload into [`ScenarioParseError`] / [`InfoError`]. Every variant is
-//! matchable — no caller ever needs to parse an error message.
+//! serialized [`Scenario`](crate::Scenario), a recorded
+//! [`Trace`](crate::Trace), or an exchanged `MPI_Info` payload into
+//! [`ScenarioParseError`] / [`TraceParseError`] / [`InfoError`]. Every
+//! variant is matchable — no caller ever needs to parse an error message.
 
 use pfs::AppId;
 use simcore::time::SimDuration;
@@ -59,14 +60,89 @@ impl From<mpiio::ConfigError> for ConfigError {
     }
 }
 
+/// The run state of one application inside a session, as reported by
+/// deadlock diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppRunState {
+    /// Waiting for the scheduled start of the next phase.
+    Idle,
+    /// Requested access at phase start; waiting to be granted.
+    WantAccess,
+    /// Yielded mid-phase after an interruption request; waiting to resume.
+    Parked,
+    /// A communication (shuffle) step is in flight.
+    Comm,
+    /// A write transfer is in flight.
+    Writing,
+    /// All phases completed.
+    Done,
+}
+
+impl AppRunState {
+    /// Stable, greppable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppRunState::Idle => "idle",
+            AppRunState::WantAccess => "want-access",
+            AppRunState::Parked => "parked",
+            AppRunState::Comm => "comm",
+            AppRunState::Writing => "writing",
+            AppRunState::Done => "done",
+        }
+    }
+
+    /// The event the application is waiting for in this state — the
+    /// "pending event" column of a deadlock report.
+    pub fn pending_event(&self) -> &'static str {
+        match self {
+            AppRunState::Idle => "phase-start",
+            AppRunState::WantAccess => "grant",
+            AppRunState::Parked => "resume",
+            AppRunState::Comm => "comm-completion",
+            AppRunState::Writing => "transfer-completion",
+            AppRunState::Done => "nothing",
+        }
+    }
+}
+
+impl std::fmt::Display for AppRunState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One application's situation at the moment a deadlock was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlockApp {
+    /// The application.
+    pub app: AppId,
+    /// Its run state.
+    pub state: AppRunState,
+    /// Whether the arbiter currently counts it as an accessor.
+    pub granted: bool,
+}
+
+impl std::fmt::Display for DeadlockApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} state={} pending={} granted={}",
+            self.app,
+            self.state,
+            self.state.pending_event(),
+            if self.granted { "yes" } else { "no" }
+        )
+    }
+}
+
 /// A failure while executing a simulation session.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SessionError {
     /// No events are pending but some application has not finished — a
     /// coordination deadlock (should be unreachable for valid scenarios).
     Deadlock {
-        /// Human-readable dump of the per-application states.
-        detail: String,
+        /// The situation of every unfinished application, in id order.
+        apps: Vec<DeadlockApp>,
     },
     /// Simulated time exceeded the configured horizon (guards against
     /// configuration mistakes such as an unreachable bandwidth).
@@ -81,11 +157,18 @@ pub enum SessionError {
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SessionError::Deadlock { detail } => {
+            SessionError::Deadlock { apps } => {
                 write!(
                     f,
-                    "deadlock: no pending events but applications are not done (states: {detail})"
-                )
+                    "deadlock: no pending events but applications are not done ["
+                )?;
+                for (i, app) in apps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{app}")?;
+                }
+                write!(f, "]")
             }
             SessionError::HorizonExceeded { horizon } => {
                 write!(f, "simulation exceeded the configured horizon of {horizon}")
@@ -177,6 +260,75 @@ impl std::fmt::Display for InfoError {
 
 impl std::error::Error for InfoError {}
 
+/// A problem decoding the textual form of a [`Trace`](crate::Trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The document did not start with the expected header line.
+    BadHeader,
+    /// A line was not a section header, a `key = value` pair, or (inside
+    /// `[events]`) an event record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An unknown `[section]` header.
+    UnknownSection(String),
+    /// A key that does not belong to its section.
+    UnknownKey(String),
+    /// The same key appeared twice in one section.
+    DuplicateKey(String),
+    /// A required key was absent from its section.
+    MissingKey(&'static str),
+    /// A value could not be parsed.
+    InvalidValue {
+        /// The key whose value was rejected.
+        key: String,
+        /// The rejected text.
+        value: String,
+    },
+    /// An event record named a kind the codec does not know.
+    UnknownEvent {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown kind token.
+        kind: String,
+    },
+    /// An event record had the wrong number or shape of arguments.
+    BadEvent {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::BadHeader => write!(f, "missing or unsupported trace header"),
+            TraceParseError::Malformed { line } => {
+                write!(
+                    f,
+                    "line {line}: expected `key = value`, `[section]` or an event record"
+                )
+            }
+            TraceParseError::UnknownSection(s) => write!(f, "unknown section [{s}]"),
+            TraceParseError::UnknownKey(k) => write!(f, "unknown key '{k}'"),
+            TraceParseError::DuplicateKey(k) => write!(f, "duplicate key '{k}'"),
+            TraceParseError::MissingKey(k) => write!(f, "missing key '{k}'"),
+            TraceParseError::InvalidValue { key, value } => {
+                write!(f, "invalid value for '{key}': {value}")
+            }
+            TraceParseError::UnknownEvent { line, kind } => {
+                write!(f, "line {line}: unknown event kind '{kind}'")
+            }
+            TraceParseError::BadEvent { line } => {
+                write!(f, "line {line}: malformed event record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
 /// The error type of every fallible public operation in the CALCioM stack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
@@ -188,6 +340,8 @@ pub enum Error {
     Scenario(ScenarioParseError),
     /// An exchanged `MPI_Info` payload could not be decoded.
     Info(InfoError),
+    /// A serialized trace could not be decoded.
+    Trace(TraceParseError),
 }
 
 impl std::fmt::Display for Error {
@@ -197,6 +351,7 @@ impl std::fmt::Display for Error {
             Error::Session(e) => e.fmt(f),
             Error::Scenario(e) => e.fmt(f),
             Error::Info(e) => e.fmt(f),
+            Error::Trace(e) => e.fmt(f),
         }
     }
 }
@@ -208,6 +363,7 @@ impl std::error::Error for Error {
             Error::Session(e) => Some(e),
             Error::Scenario(e) => Some(e),
             Error::Info(e) => Some(e),
+            Error::Trace(e) => Some(e),
         }
     }
 }
@@ -233,6 +389,12 @@ impl From<ScenarioParseError> for Error {
 impl From<InfoError> for Error {
     fn from(e: InfoError) -> Self {
         Error::Info(e)
+    }
+}
+
+impl From<TraceParseError> for Error {
+    fn from(e: TraceParseError) -> Self {
+        Error::Trace(e)
     }
 }
 
@@ -270,5 +432,60 @@ mod tests {
         let e = Error::from(mpiio::ConfigError::ZeroBlockCount);
         assert!(e.source().is_some());
         assert!(e.source().unwrap().source().is_some());
+    }
+
+    #[test]
+    fn deadlock_message_is_structured_and_greppable() {
+        let e = SessionError::Deadlock {
+            apps: vec![
+                DeadlockApp {
+                    app: AppId(0),
+                    state: AppRunState::WantAccess,
+                    granted: false,
+                },
+                DeadlockApp {
+                    app: AppId(1),
+                    state: AppRunState::Writing,
+                    granted: true,
+                },
+            ],
+        };
+        // The rendering is stable: one `<app> state=<s> pending=<e>
+        // granted=<yes|no>` clause per application, `;`-separated.
+        assert_eq!(
+            e.to_string(),
+            "deadlock: no pending events but applications are not done \
+             [app0 state=want-access pending=grant granted=no; \
+             app1 state=writing pending=transfer-completion granted=yes]"
+        );
+    }
+
+    #[test]
+    fn run_state_labels_and_pending_events_are_distinct() {
+        let states = [
+            AppRunState::Idle,
+            AppRunState::WantAccess,
+            AppRunState::Parked,
+            AppRunState::Comm,
+            AppRunState::Writing,
+            AppRunState::Done,
+        ];
+        let labels: std::collections::BTreeSet<&str> = states.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), states.len());
+        for s in states {
+            assert!(!s.pending_event().is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_parse_error_displays_its_location() {
+        let e = Error::from(TraceParseError::UnknownEvent {
+            line: 12,
+            kind: "warp".into(),
+        });
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("warp"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
     }
 }

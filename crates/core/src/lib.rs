@@ -27,6 +27,13 @@
 //! coordination layer. The [`Session`] type runs a complete scenario and
 //! produces per-application, per-phase timings.
 //!
+//! Execution is *observable*: [`Session::execute_with`] streams every
+//! [`SimEvent`] (grants, interruptions, transfer progress, …) to a
+//! [`SimObserver`] — record a replayable [`Trace`] with [`TraceRecorder`],
+//! derive Gantt/bandwidth views with [`TimelineAggregator`], or fold your
+//! own. The [`SessionReport`] is itself derived from that stream, so a
+//! recorded trace replays to the same report bit for bit.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -69,22 +76,31 @@ pub mod arbiter;
 pub mod error;
 pub mod info;
 pub mod metrics;
+pub mod observe;
 pub mod policy;
 pub mod scenario;
 pub mod session;
 pub mod strategy;
+pub mod timeline;
+pub mod trace;
 
 pub use api::{CoordinationTransport, Coordinator, LocalTransport, SharedTransport};
 pub use arbiter::Arbiter;
-pub use error::{ConfigError, Error, InfoError, ScenarioParseError, SessionError};
+pub use error::{
+    AppRunState, ConfigError, DeadlockApp, Error, InfoError, ScenarioParseError, SessionError,
+    TraceParseError,
+};
 pub use info::IoInfo;
 pub use metrics::{
     cpu_seconds_wasted_per_core, evaluate, interference_factor, AppObservation, EfficiencyMetric,
 };
+pub use observe::{AppSeed, GrantKind, NullObserver, ReportBuilder, SimEvent, SimObserver};
 pub use policy::{DynDecision, DynamicPolicy};
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use session::{AppReport, PhaseResult, Session, SessionReport};
 pub use strategy::{AccessOutcome, Strategy, YieldOutcome};
+pub use timeline::{Activity, BandwidthPoint, GanttInterval, Timeline, TimelineAggregator};
+pub use trace::{Trace, TraceRecorder};
 
 // Re-export the identifiers users need from the substrate crates so that
 // simple programs only have to depend on `calciom`.

@@ -427,14 +427,14 @@ impl ScenarioBuilder {
     }
 }
 
-fn strategy_to_text(strategy: Strategy) -> String {
+pub(crate) fn strategy_to_text(strategy: Strategy) -> String {
     match strategy {
         Strategy::Delay { max_wait_secs } => format!("delay {max_wait_secs:?}"),
         other => other.label().to_string(),
     }
 }
 
-fn strategy_from_text(text: &str) -> Result<Strategy, ScenarioParseError> {
+pub(crate) fn strategy_from_text(text: &str) -> Result<Strategy, ScenarioParseError> {
     let mut tokens = text.split_whitespace();
     let strategy = match (tokens.next(), tokens.next()) {
         (Some("interfering"), None) => Strategy::Interfere,
@@ -488,7 +488,7 @@ fn parse_cache(text: &str) -> Result<Option<CacheConfig>, ScenarioParseError> {
 /// backslash-escaped token, so that whitespace survives the parser's value
 /// trimming and newlines / `[app]`-like content cannot break the
 /// line-based format.
-fn quote(s: &str) -> String {
+pub(crate) fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -505,7 +505,7 @@ fn quote(s: &str) -> String {
 }
 
 /// Decodes the encoding produced by [`quote`].
-fn unquote(text: &str) -> Result<String, ScenarioParseError> {
+pub(crate) fn unquote(text: &str) -> Result<String, ScenarioParseError> {
     let inner = text
         .strip_prefix('"')
         .and_then(|t| t.strip_suffix('"'))
@@ -528,31 +528,54 @@ fn unquote(text: &str) -> Result<String, ScenarioParseError> {
     Ok(out)
 }
 
-fn invalid(key: &str, value: &str) -> ScenarioParseError {
-    ScenarioParseError::InvalidValue {
-        key: key.to_string(),
-        value: value.to_string(),
+/// The error shape shared by the crate's two text codecs (scenario and
+/// trace), so the `key = value` helpers below exist exactly once.
+pub(crate) trait CodecError: Sized {
+    /// A required key was absent from its section.
+    fn missing_key(key: &'static str) -> Self;
+    /// A value could not be parsed.
+    fn invalid_value(key: &str, value: &str) -> Self;
+    /// A key that does not belong to its section.
+    fn unknown_key(key: String) -> Self;
+}
+
+impl CodecError for ScenarioParseError {
+    fn missing_key(key: &'static str) -> Self {
+        ScenarioParseError::MissingKey(key)
+    }
+    fn invalid_value(key: &str, value: &str) -> Self {
+        ScenarioParseError::InvalidValue {
+            key: key.to_string(),
+            value: value.to_string(),
+        }
+    }
+    fn unknown_key(key: String) -> Self {
+        ScenarioParseError::UnknownKey(key)
     }
 }
 
-fn take(
-    map: &mut BTreeMap<String, String>,
-    key: &'static str,
-) -> Result<String, ScenarioParseError> {
-    map.remove(key).ok_or(ScenarioParseError::MissingKey(key))
+pub(crate) fn invalid<E: CodecError>(key: &str, value: &str) -> E {
+    E::invalid_value(key, value)
 }
 
-fn parse_num<T: std::str::FromStr>(
+pub(crate) fn take<E: CodecError>(
     map: &mut BTreeMap<String, String>,
     key: &'static str,
-) -> Result<T, ScenarioParseError> {
-    let value = take(map, key)?;
+) -> Result<String, E> {
+    map.remove(key).ok_or_else(|| E::missing_key(key))
+}
+
+pub(crate) fn parse_num<T: std::str::FromStr, E: CodecError>(
+    map: &mut BTreeMap<String, String>,
+    key: &'static str,
+) -> Result<T, E> {
+    let value = take::<E>(map, key)?;
     value.parse().map_err(|_| invalid(key, &value))
 }
 
-fn reject_leftovers(map: BTreeMap<String, String>) -> Result<(), ScenarioParseError> {
+pub(crate) fn reject_leftovers<E: CodecError>(map: BTreeMap<String, String>) -> Result<(), E> {
     match map.into_keys().next() {
-        Some(key) => Err(ScenarioParseError::UnknownKey(key)),
+        Some(key) => Err(E::unknown_key(key)),
         None => Ok(()),
     }
 }

@@ -16,12 +16,20 @@
 //! `iobench` parallel sweeps). The simulation itself is deterministic —
 //! integer-tick clock, no randomness — so the transport never changes the
 //! report.
+//!
+//! Execution is *observable*: [`Session::execute_with`] streams every
+//! [`SimEvent`] (phase boundaries, arbiter decisions, transfer
+//! starts/progress/completions) to a [`SimObserver`], and the
+//! [`SessionReport`] itself is folded from that very stream by a
+//! [`ReportBuilder`] — a recorded
+//! [`Trace`](crate::Trace) therefore replays to the exact same report.
 
 use crate::api::{CoordinationTransport, LocalTransport};
 use crate::arbiter::Arbiter;
-use crate::error::{Error, SessionError};
+use crate::error::{AppRunState, DeadlockApp, Error, SessionError};
 use crate::info::IoInfo;
 use crate::metrics::{AppObservation, EfficiencyMetric};
+use crate::observe::{GrantKind, NullObserver, ReportBuilder, SimEvent, SimObserver};
 use crate::scenario::Scenario;
 use crate::strategy::{AccessOutcome, Strategy, YieldOutcome};
 use mpiio::{AppConfig, Granularity, IoPlan, StepKind};
@@ -134,23 +142,37 @@ impl SessionReport {
 
     /// Builds metric observations, one per application, using externally
     /// measured stand-alone times (first phase only).
+    ///
+    /// Degenerate inputs are well-defined rather than panics:
+    ///
+    /// * an application missing from `alone_seconds` falls back to its
+    ///   analytic [`AppReport::alone_estimate_secs`];
+    /// * a zero-duration first phase yields `io_seconds == 0.0` (and an
+    ///   interference factor of 1, see
+    ///   [`interference_factor`](crate::interference_factor));
+    /// * an application that never completed a phase (possible only for
+    ///   reports replayed from a truncated trace) is skipped.
     pub fn observations(&self, alone_seconds: &BTreeMap<AppId, f64>) -> Vec<AppObservation> {
         self.apps
             .iter()
-            .map(|a| AppObservation {
-                app: a.app,
-                procs: a.procs,
-                io_seconds: a.first_phase().io_time(),
-                alone_seconds: alone_seconds
-                    .get(&a.app)
-                    .copied()
-                    .unwrap_or(a.alone_estimate_secs),
+            .filter_map(|a| {
+                Some(AppObservation {
+                    app: a.app,
+                    procs: a.procs,
+                    io_seconds: a.phases.first()?.io_time(),
+                    alone_seconds: alone_seconds
+                        .get(&a.app)
+                        .copied()
+                        .unwrap_or(a.alone_estimate_secs),
+                })
             })
             .collect()
     }
 
     /// Evaluates a machine-wide metric over the first phase of every
-    /// application.
+    /// application. Degenerate inputs follow the conventions of
+    /// [`SessionReport::observations`]; with no completed phases at all
+    /// every metric evaluates to `0.0` (an empty sum).
     pub fn metric(&self, metric: EfficiencyMetric, alone_seconds: &BTreeMap<AppId, f64>) -> f64 {
         crate::metrics::evaluate(metric, &self.observations(alone_seconds))
     }
@@ -172,12 +194,45 @@ enum RtState {
     Done,
 }
 
+impl RtState {
+    /// The public mirror used by deadlock diagnostics.
+    fn public(self) -> AppRunState {
+        match self {
+            RtState::Idle => AppRunState::Idle,
+            RtState::WantAccess => AppRunState::WantAccess,
+            RtState::Parked => AppRunState::Parked,
+            RtState::Comm => AppRunState::Comm,
+            RtState::Writing => AppRunState::Writing,
+            RtState::Done => AppRunState::Done,
+        }
+    }
+}
+
+/// The session's event fan-out: every emission feeds the internal
+/// [`ReportBuilder`] (the report *is* a fold of the stream) and the
+/// caller-supplied observer.
+struct Emitter<'a, O: SimObserver> {
+    builder: ReportBuilder,
+    observer: &'a mut O,
+}
+
+impl<O: SimObserver> Emitter<'_, O> {
+    fn emit(&mut self, at: SimTime, event: SimEvent) {
+        self.builder.on_event(at, &event);
+        self.observer.on_event(at, &event);
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     PhaseStart(AppId),
     CommDone(AppId),
     Resume(AppId),
-    DelayExpired(AppId),
+    /// The bounded-delay budget of the given *phase*'s request expired.
+    /// Tagging the phase keeps a stale timer (request granted normally,
+    /// phase finished, next phase queued again) from force-granting a
+    /// later request before its own budget.
+    DelayExpired(AppId, u32),
 }
 
 struct AppRuntime {
@@ -187,14 +242,7 @@ struct AppRuntime {
     step: usize,
     state: RtState,
     requested_start: SimTime,
-    io_first_step: Option<SimTime>,
-    comm_secs: f64,
-    write_secs: f64,
-    wait_secs: f64,
-    wait_started: Option<SimTime>,
-    write_started: Option<SimTime>,
-    current_transfer: Option<TransferId>,
-    results: Vec<PhaseResult>,
+    started: bool,
     alone_estimate: f64,
 }
 
@@ -210,14 +258,7 @@ impl AppRuntime {
             step: 0,
             state: RtState::Idle,
             requested_start,
-            io_first_step: None,
-            comm_secs: 0.0,
-            write_secs: 0.0,
-            wait_secs: 0.0,
-            wait_started: None,
-            write_started: None,
-            current_transfer: None,
-            results: Vec::new(),
+            started: false,
             alone_estimate,
         }
     }
@@ -225,13 +266,7 @@ impl AppRuntime {
     fn reset_phase_accounting(&mut self, requested_start: SimTime) {
         self.step = 0;
         self.requested_start = requested_start;
-        self.io_first_step = None;
-        self.comm_secs = 0.0;
-        self.write_secs = 0.0;
-        self.wait_secs = 0.0;
-        self.wait_started = None;
-        self.write_started = None;
-        self.current_transfer = None;
+        self.started = false;
     }
 
     fn current_io_info(&self, pfs_cfg: &PfsConfig, granularity: Granularity) -> IoInfo {
@@ -319,8 +354,27 @@ impl<T: CoordinationTransport> Session<T> {
         })
     }
 
-    /// Executes the scenario to completion.
-    pub fn execute(mut self) -> Result<SessionReport, Error> {
+    /// Executes the scenario to completion, unobserved (the
+    /// [`NullObserver`] short-circuits every observation hook).
+    pub fn execute(self) -> Result<SessionReport, Error> {
+        self.execute_with(&mut NullObserver)
+    }
+
+    /// Executes the scenario to completion, streaming every [`SimEvent`]
+    /// to `observer` as it happens.
+    ///
+    /// The returned report is folded from the very same event stream by an
+    /// internal [`ReportBuilder`], so whatever the observer recorded (a
+    /// [`Trace`](crate::Trace), a timeline, …) can never disagree with the
+    /// aggregate view.
+    pub fn execute_with<O: SimObserver>(
+        mut self,
+        observer: &mut O,
+    ) -> Result<SessionReport, Error> {
+        let mut em = Emitter {
+            builder: ReportBuilder::new(&self.cfg),
+            observer,
+        };
         let horizon = SimTime::ZERO + self.cfg.horizon;
         loop {
             if self.apps.values().all(|a| a.state == RtState::Done) {
@@ -333,14 +387,17 @@ impl<T: CoordinationTransport> Session<T> {
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
                 (None, None) => {
-                    let detail = format!(
-                        "{:?}",
-                        self.apps
-                            .values()
-                            .map(|a| (a.cfg.id, a.state))
-                            .collect::<Vec<_>>()
-                    );
-                    return Err(SessionError::Deadlock { detail }.into());
+                    let apps = self
+                        .apps
+                        .values()
+                        .filter(|a| a.state != RtState::Done)
+                        .map(|a| DeadlockApp {
+                            app: a.cfg.id,
+                            state: a.state.public(),
+                            granted: self.transport.with(|arb| arb.is_granted(a.cfg.id)),
+                        })
+                        .collect();
+                    return Err(SessionError::Deadlock { apps }.into());
                 }
             };
             if next > horizon {
@@ -357,7 +414,7 @@ impl<T: CoordinationTransport> Session<T> {
             // slot that a queued event's application is waiting for.
             for tid in self.pfs.poll_completed() {
                 if let Some(app) = self.transfer_owner.remove(&tid) {
-                    self.on_write_complete(app, now);
+                    self.on_write_complete(tid, app, now, &mut em);
                 }
             }
 
@@ -367,72 +424,96 @@ impl<T: CoordinationTransport> Session<T> {
                     break;
                 }
                 let (_, event) = self.queue.pop().expect("peeked event exists");
-                self.on_event(event, now);
+                self.on_event(event, now, &mut em);
+            }
+
+            // Sample in-flight transfers once the step settled: rates are
+            // piecewise constant between loop iterations, so these samples
+            // capture every bandwidth plateau.
+            if em.observer.wants_progress() {
+                for (&tid, &app) in &self.transfer_owner {
+                    if let Some(p) = self.pfs.progress(tid) {
+                        em.emit(
+                            now,
+                            SimEvent::TransferProgress {
+                                app,
+                                transfer: tid,
+                                transferred: p.transferred,
+                                rate: p.rate,
+                            },
+                        );
+                    }
+                }
             }
         }
 
         let makespan = self.pfs.now();
-        let apps = self
-            .cfg
-            .apps
-            .iter()
-            .map(|a| {
-                let rt = &self.apps[&a.id];
-                AppReport {
-                    app: a.id,
-                    name: a.name.clone(),
-                    procs: a.procs,
-                    alone_estimate_secs: rt.alone_estimate,
-                    phases: rt.results.clone(),
-                }
-            })
-            .collect();
-        Ok(SessionReport {
-            strategy: self.cfg.strategy,
-            apps,
-            coordination_messages: self.transport.with(|arb| arb.message_count()),
+        em.emit(
             makespan,
-        })
+            SimEvent::SessionEnded {
+                makespan,
+                coordination_messages: self.transport.with(|arb| arb.message_count()),
+            },
+        );
+        Ok(em.builder.finish())
     }
 
-    fn on_event(&mut self, event: Event, now: SimTime) {
+    fn on_event<O: SimObserver>(&mut self, event: Event, now: SimTime, em: &mut Emitter<'_, O>) {
         match event {
             Event::PhaseStart(app) => {
                 let rt = self.apps.get_mut(&app).expect("known app");
                 if rt.state != RtState::Idle {
                     return;
                 }
+                em.emit(
+                    now,
+                    SimEvent::PhaseStarted {
+                        app,
+                        phase: rt.phase,
+                    },
+                );
+                let rt = self.apps.get_mut(&app).expect("known app");
                 if rt.plan.is_empty() {
-                    self.finish_phase(app, now);
+                    self.finish_phase(app, now, em);
                     return;
                 }
-                self.advance_app(app, now);
+                self.advance_app(app, now, em);
             }
             Event::CommDone(app) => {
                 let rt = self.apps.get_mut(&app).expect("known app");
                 if rt.state != RtState::Comm {
                     return;
                 }
+                em.emit(now, SimEvent::CommCompleted { app });
+                let rt = self.apps.get_mut(&app).expect("known app");
                 rt.step += 1;
-                self.advance_app(app, now);
+                self.advance_app(app, now, em);
             }
             Event::Resume(app) => {
                 let rt = self.apps.get_mut(&app).expect("known app");
                 if rt.state != RtState::WantAccess && rt.state != RtState::Parked {
                     return;
                 }
+                let was_parked = rt.state == RtState::Parked;
                 if !self.transport.with(|arb| arb.is_granted(app)) {
                     return;
                 }
-                let rt = self.apps.get_mut(&app).expect("known app");
-                if let Some(start) = rt.wait_started.take() {
-                    rt.wait_secs += now.saturating_since(start).as_secs();
-                }
-                self.execute_step(app, now);
+                em.emit(
+                    now,
+                    if was_parked {
+                        SimEvent::Resumed { app }
+                    } else {
+                        SimEvent::AccessGranted {
+                            app,
+                            grant: GrantKind::AfterWait,
+                        }
+                    },
+                );
+                self.execute_step(app, now, em);
             }
-            Event::DelayExpired(app) => {
+            Event::DelayExpired(app, phase) => {
                 let rt = self.apps.get_mut(&app).expect("known app");
-                if rt.state != RtState::WantAccess {
+                if rt.state != RtState::WantAccess || rt.phase != phase {
                     return;
                 }
                 self.transport.with(|arb| {
@@ -440,44 +521,62 @@ impl<T: CoordinationTransport> Session<T> {
                         arb.force_grant(app);
                     }
                 });
-                let rt = self.apps.get_mut(&app).expect("known app");
-                if let Some(start) = rt.wait_started.take() {
-                    rt.wait_secs += now.saturating_since(start).as_secs();
-                }
-                self.execute_step(app, now);
+                em.emit(
+                    now,
+                    SimEvent::AccessGranted {
+                        app,
+                        grant: GrantKind::DelayElapsed,
+                    },
+                );
+                self.execute_step(app, now, em);
             }
         }
     }
 
-    fn on_write_complete(&mut self, app: AppId, now: SimTime) {
+    fn on_write_complete<O: SimObserver>(
+        &mut self,
+        tid: TransferId,
+        app: AppId,
+        now: SimTime,
+        em: &mut Emitter<'_, O>,
+    ) {
         let rt = self.apps.get_mut(&app).expect("known app");
         if rt.state != RtState::Writing {
             return;
         }
-        if let Some(start) = rt.write_started.take() {
-            rt.write_secs += now.saturating_since(start).as_secs();
-        }
-        rt.current_transfer = None;
+        let bytes = match rt.plan.step(rt.step).copied().expect("step exists").kind {
+            StepKind::Write { bytes } => bytes,
+            StepKind::Comm { .. } => unreachable!("a writing app sits on a write step"),
+        };
+        em.emit(
+            now,
+            SimEvent::TransferCompleted {
+                app,
+                transfer: tid,
+                bytes,
+            },
+        );
+        let rt = self.apps.get_mut(&app).expect("known app");
         rt.step += 1;
-        self.advance_app(app, now);
+        self.advance_app(app, now, em);
     }
 
     /// Moves an application forward from its current step: issues the
     /// coordination calls attached to the step's position, then either
     /// executes the step, parks the application, or finishes the phase.
-    fn advance_app(&mut self, app: AppId, now: SimTime) {
+    fn advance_app<O: SimObserver>(&mut self, app: AppId, now: SimTime, em: &mut Emitter<'_, O>) {
         let (step, plan_len, is_yield, started) = {
             let rt = self.apps.get_mut(&app).expect("known app");
             (
                 rt.step,
                 rt.plan.len(),
                 rt.plan.is_yield_point(rt.step, self.cfg.granularity),
-                rt.io_first_step.is_some(),
+                rt.started,
             )
         };
 
         if step >= plan_len {
-            self.finish_phase(app, now);
+            self.finish_phase(app, now, em);
             return;
         }
 
@@ -491,24 +590,41 @@ impl<T: CoordinationTransport> Session<T> {
 
             if !started {
                 // Start of the phase: ask for access (Inform + Check/Wait).
+                em.emit(now, SimEvent::AccessRequested { app });
                 let outcome = self.transport.with(|arb| {
                     arb.update_info(info);
                     arb.request_access(app)
                 });
                 match outcome {
-                    AccessOutcome::Granted => {}
+                    AccessOutcome::Granted => {
+                        em.emit(
+                            now,
+                            SimEvent::AccessGranted {
+                                app,
+                                grant: GrantKind::Immediate,
+                            },
+                        );
+                    }
                     AccessOutcome::MustWait => {
                         let rt = self.apps.get_mut(&app).expect("known app");
                         rt.state = RtState::WantAccess;
-                        rt.wait_started = Some(now);
                         return;
                     }
                     AccessOutcome::MustWaitAtMost(secs) => {
+                        em.emit(
+                            now,
+                            SimEvent::DelayBounded {
+                                app,
+                                max_wait_secs: secs,
+                            },
+                        );
                         let rt = self.apps.get_mut(&app).expect("known app");
                         rt.state = RtState::WantAccess;
-                        rt.wait_started = Some(now);
-                        self.queue
-                            .schedule(now + SimDuration::from_secs(secs), Event::DelayExpired(app));
+                        let phase = rt.phase;
+                        self.queue.schedule(
+                            now + SimDuration::from_secs(secs),
+                            Event::DelayExpired(app, phase),
+                        );
                         return;
                     }
                 }
@@ -522,9 +638,9 @@ impl<T: CoordinationTransport> Session<T> {
                 match outcome {
                     YieldOutcome::Continue => {}
                     YieldOutcome::YieldNow => {
+                        em.emit(now, SimEvent::Interrupted { app });
                         let rt = self.apps.get_mut(&app).expect("known app");
                         rt.state = RtState::Parked;
-                        rt.wait_started = Some(now);
                         self.notify_granted(now);
                         return;
                     }
@@ -532,25 +648,23 @@ impl<T: CoordinationTransport> Session<T> {
             }
         }
 
-        self.execute_step(app, now);
+        self.execute_step(app, now, em);
     }
 
     /// Executes the application's current step (communication or write).
-    fn execute_step(&mut self, app: AppId, now: SimTime) {
+    fn execute_step<O: SimObserver>(&mut self, app: AppId, now: SimTime, em: &mut Emitter<'_, O>) {
         let past_end = {
             let rt = &self.apps[&app];
             rt.step >= rt.plan.len()
         };
         if past_end {
             // Can happen when a Resume lands after the plan advanced.
-            self.finish_phase(app, now);
+            self.finish_phase(app, now, em);
             return;
         }
         let (kind, procs) = {
             let rt = self.apps.get_mut(&app).expect("known app");
-            if rt.io_first_step.is_none() {
-                rt.io_first_step = Some(now);
-            }
+            rt.started = true;
             (
                 rt.plan.step(rt.step).copied().expect("step exists").kind,
                 rt.cfg.procs,
@@ -559,18 +673,24 @@ impl<T: CoordinationTransport> Session<T> {
 
         match kind {
             StepKind::Comm { seconds } => {
+                em.emit(now, SimEvent::CommStarted { app, seconds });
                 let rt = self.apps.get_mut(&app).expect("known app");
                 rt.state = RtState::Comm;
-                rt.comm_secs += seconds;
                 self.queue
                     .schedule(now + SimDuration::from_secs(seconds), Event::CommDone(app));
             }
             StepKind::Write { bytes } => {
                 let tid = self.pfs.submit_write(app, bytes, procs);
+                em.emit(
+                    now,
+                    SimEvent::TransferStarted {
+                        app,
+                        transfer: tid,
+                        bytes,
+                    },
+                );
                 let rt = self.apps.get_mut(&app).expect("known app");
                 rt.state = RtState::Writing;
-                rt.write_started = Some(now);
-                rt.current_transfer = Some(tid);
                 self.transfer_owner.insert(tid, app);
                 // Zero-byte writes complete immediately; pick them up on the
                 // next loop iteration via poll_completed.
@@ -580,21 +700,17 @@ impl<T: CoordinationTransport> Session<T> {
 
     /// Closes the current phase of `app`, releases its coordination slot,
     /// and schedules the next phase (or marks the application done).
-    fn finish_phase(&mut self, app: AppId, now: SimTime) {
+    fn finish_phase<O: SimObserver>(&mut self, app: AppId, now: SimTime, em: &mut Emitter<'_, O>) {
         let (more_phases, next_start) = {
             let rt = self.apps.get_mut(&app).expect("known app");
-            let result = PhaseResult {
-                app,
-                phase: rt.phase,
-                requested_start: rt.requested_start,
-                io_start: rt.io_first_step.unwrap_or(now),
-                end: now,
-                bytes: rt.plan.total_write_bytes(),
-                comm_seconds: rt.comm_secs,
-                write_seconds: rt.write_secs,
-                wait_seconds: rt.wait_secs,
-            };
-            rt.results.push(result);
+            em.emit(
+                now,
+                SimEvent::PhaseFinished {
+                    app,
+                    phase: rt.phase,
+                    bytes: rt.plan.total_write_bytes(),
+                },
+            );
             rt.phase += 1;
             let more = rt.phase < rt.cfg.phases;
             let next_start = if more {
@@ -825,6 +941,51 @@ mod tests {
     }
 
     #[test]
+    fn stale_delay_timer_does_not_force_grant_a_later_phase() {
+        // B's first request is granted normally (A releases) long before
+        // its 15 s delay budget expires, so the budget timer is still
+        // queued when B's *second* phase is waiting behind A's second
+        // phase. The stale timer must not force that later request
+        // through early: it belongs to phase 0, not phase 1.
+        let a = app(0, "A", 336, 16.0, 0.0) // 6.4 s per phase
+            .with_periodic_phases(2, SimDuration::from_secs(12.0));
+        let b = app(1, "B", 48, 8.0, 1.0) // ~0.7 s alone
+            .with_periodic_phases(2, SimDuration::from_secs(12.0));
+        let report = Scenario::builder(rennes())
+            .apps([a, b])
+            .strategy(Strategy::Delay {
+                max_wait_secs: 15.0,
+            })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+
+        let b_phases = &report.app(AppId(1)).unwrap().phases;
+        // Phase 0: granted when A releases at ~6.4 s → waited ~5.4 s,
+        // well under the budget (the timer at t = 16 s stays queued).
+        assert!(
+            (b_phases[0].wait_seconds - 5.4).abs() < 0.5,
+            "phase 0 waited {}",
+            b_phases[0].wait_seconds
+        );
+        // Phase 1 requests at t = 13 s while A's second phase (12 → 18.4)
+        // holds the file system. The stale phase-0 timer fires at 16 s;
+        // B must keep waiting for A's release (~18.4 s), not be
+        // force-granted at 16 s.
+        assert!(
+            b_phases[1].io_start.as_secs() > 17.0,
+            "phase 1 started at {} — force-granted by a stale timer",
+            b_phases[1].io_start.as_secs()
+        );
+        assert!(
+            (b_phases[1].wait_seconds - 5.4).abs() < 0.5,
+            "phase 1 waited {}",
+            b_phases[1].wait_seconds
+        );
+    }
+
+    #[test]
     fn report_accessors_and_metrics() {
         let apps = vec![app(0, "A", 336, 16.0, 0.0), app(1, "B", 48, 16.0, 0.0)];
         let report = Scenario::new(rennes(), apps).run().unwrap();
@@ -840,6 +1001,82 @@ mod tests {
             report.metric(EfficiencyMetric::CpuSecondsWasted, &alone)
                 > report.metric(EfficiencyMetric::TotalIoTime, &alone)
         );
+    }
+
+    #[test]
+    fn observations_survive_missing_baselines_and_zero_duration_phases() {
+        // The documented degenerate behaviors of `observations`/`metric`:
+        // a missing `alone_seconds` entry falls back to the analytic
+        // estimate, a zero-duration phase contributes zero I/O time (and
+        // an interference factor clamped to 1), and an app without phases
+        // is skipped rather than panicking.
+        let zero_phase = PhaseResult {
+            app: AppId(0),
+            phase: 0,
+            requested_start: SimTime::from_secs(1.0),
+            io_start: SimTime::from_secs(1.0),
+            end: SimTime::from_secs(1.0),
+            bytes: 0.0,
+            comm_seconds: 0.0,
+            write_seconds: 0.0,
+            wait_seconds: 0.0,
+        };
+        let report = SessionReport {
+            strategy: Strategy::Interfere,
+            apps: vec![
+                AppReport {
+                    app: AppId(0),
+                    name: "zero".into(),
+                    procs: 16,
+                    alone_estimate_secs: 2.5,
+                    phases: vec![zero_phase],
+                },
+                AppReport {
+                    app: AppId(1),
+                    name: "phaseless".into(),
+                    procs: 8,
+                    alone_estimate_secs: 1.0,
+                    phases: Vec::new(),
+                },
+            ],
+            coordination_messages: 0,
+            makespan: SimTime::from_secs(1.0),
+        };
+
+        let alone = BTreeMap::new();
+        let obs = report.observations(&alone);
+        assert_eq!(obs.len(), 1, "phaseless app is skipped");
+        assert_eq!(obs[0].io_seconds, 0.0);
+        assert_eq!(
+            obs[0].alone_seconds, 2.5,
+            "missing baseline falls back to the analytic estimate"
+        );
+        assert_eq!(obs[0].interference_factor(), 1.0);
+
+        for metric in EfficiencyMetric::ALL {
+            let value = report.metric(metric, &alone);
+            assert!(value.is_finite(), "{metric:?} must stay finite: {value}");
+        }
+        assert_eq!(report.metric(EfficiencyMetric::TotalIoTime, &alone), 0.0);
+        assert_eq!(
+            report.metric(EfficiencyMetric::SumInterferenceFactors, &alone),
+            1.0
+        );
+
+        // An explicit zero baseline is equally safe (documented: factor 1).
+        let zero_alone: BTreeMap<AppId, f64> = [(AppId(0), 0.0)].into_iter().collect();
+        let obs = report.observations(&zero_alone);
+        assert_eq!(obs[0].interference_factor(), 1.0);
+
+        // No completed phases at all: every metric is the empty sum.
+        let empty = SessionReport {
+            apps: vec![report.apps[1].clone()],
+            ..report.clone()
+        };
+        assert!(empty.observations(&alone).is_empty());
+        for metric in EfficiencyMetric::ALL {
+            assert_eq!(empty.metric(metric, &alone), 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Shared cache of `T_alone` baselines.
+//!
+//! Every Δ-graph sweep and strategy comparison needs the stand-alone write
+//! time of each application on the target file system — and sweeps ask for
+//! the *same* `(AppConfig, PfsConfig)` pair at every point (and figures ask
+//! again for every strategy). A [`BaselineCache`] memoizes
+//! [`Session::run_alone`] results so each distinct pair is simulated once
+//! per process; `delta` and `compare` go through the process-wide
+//! [`BaselineCache::global`].
+//!
+//! The cache key is the exact text encoding of the single-application
+//! scenario `run_alone` executes (start time zeroed, default strategy), so
+//! two configurations collide only if they describe bit-identical
+//! simulations — in which case the cached value is, by determinism, the
+//! value a fresh run would produce.
+
+use calciom::{Error, Scenario, Session};
+use mpiio::AppConfig;
+use pfs::PfsConfig;
+use simcore::SimTime;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A memo table of stand-alone first-phase I/O times, keyed on the exact
+/// `(application, file system)` pair.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    map: Mutex<BTreeMap<String, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        BaselineCache::default()
+    }
+
+    /// The process-wide cache shared by the sweep harnesses.
+    pub fn global() -> &'static BaselineCache {
+        static GLOBAL: OnceLock<BaselineCache> = OnceLock::new();
+        GLOBAL.get_or_init(BaselineCache::new)
+    }
+
+    /// The stand-alone first-phase I/O time of `app` on `pfs` — computed
+    /// through [`Session::run_alone`] on the first request for this pair,
+    /// served from the cache afterwards. The simulation is deterministic,
+    /// so a cached answer is exactly the answer a fresh run would give.
+    pub fn alone_time(&self, app: &AppConfig, pfs: &PfsConfig) -> Result<f64, Error> {
+        let key = Self::key(app, pfs);
+        if let Some(&cached) = self.map.lock().expect("baseline cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached);
+        }
+        // Simulate outside the lock: concurrent misses for the same pair
+        // duplicate work but always insert the same deterministic value.
+        let value = Session::run_alone(app.clone(), pfs.clone())?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("baseline cache lock")
+            .insert(key, value);
+        Ok(value)
+    }
+
+    /// How many requests were answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many requests had to run a baseline session.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(app, pfs)` pairs cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("baseline cache lock").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached baseline (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("baseline cache lock").clear();
+    }
+
+    /// The cache key: the exact serialized form of the scenario
+    /// [`Session::run_alone`] would execute (start zeroed, defaults for
+    /// everything the baseline run fixes).
+    fn key(app: &AppConfig, pfs: &PfsConfig) -> String {
+        let mut app = app.clone();
+        app.start = SimTime::ZERO;
+        Scenario::new(pfs.clone(), vec![app]).to_text()
+    }
+}
+
+/// Convenience wrapper over [`BaselineCache::global`], used by the sweep
+/// modules.
+pub fn alone_time_cached(app: &AppConfig, pfs: &PfsConfig) -> Result<f64, Error> {
+    BaselineCache::global().alone_time(app, pfs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpiio::AccessPattern;
+    use pfs::AppId;
+
+    const MB: f64 = 1.0e6;
+
+    fn app(id: usize, procs: u32, mb: f64) -> AppConfig {
+        AppConfig::new(AppId(id), "A", procs, AccessPattern::contiguous(mb * MB))
+    }
+
+    #[test]
+    fn cache_returns_the_uncached_value_and_stops_simulating() {
+        let cache = BaselineCache::new();
+        let pfs = PfsConfig::grid5000_rennes();
+        let a = app(0, 336, 16.0);
+
+        let uncached = Session::run_alone(a.clone(), pfs.clone()).unwrap();
+        let first = cache.alone_time(&a, &pfs).unwrap();
+        let second = cache.alone_time(&a, &pfs).unwrap();
+        assert_eq!(first, uncached, "cached path must not change results");
+        assert_eq!(second, uncached);
+        // The session count drops: one simulation for two requests.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn start_offset_does_not_split_the_cache() {
+        // `run_alone` zeroes the start time, so Δ-graph variants of one
+        // application share a single baseline entry.
+        let cache = BaselineCache::new();
+        let pfs = PfsConfig::grid5000_rennes();
+        cache.alone_time(&app(0, 336, 16.0), &pfs).unwrap();
+        cache
+            .alone_time(&app(0, 336, 16.0).starting_at_secs(7.5), &pfs)
+            .unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_entries() {
+        let cache = BaselineCache::new();
+        let rennes = PfsConfig::grid5000_rennes();
+        let nancy = PfsConfig::grid5000_nancy();
+        let t_rennes = cache.alone_time(&app(0, 336, 16.0), &rennes).unwrap();
+        let t_nancy = cache.alone_time(&app(0, 336, 16.0), &nancy).unwrap();
+        let t_small = cache.alone_time(&app(1, 48, 16.0), &rennes).unwrap();
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 3);
+        assert_ne!(t_rennes, t_nancy);
+        assert_ne!(t_rennes, t_small);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalid_configurations_still_error_and_are_not_cached() {
+        let cache = BaselineCache::new();
+        let mut pfs = PfsConfig::grid5000_rennes();
+        pfs.num_servers = 0;
+        assert!(cache.alone_time(&app(0, 336, 16.0), &pfs).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -6,10 +6,11 @@
 //! stand-alone baselines, and exposes the per-application interference
 //! factors and machine-wide metrics for each strategy.
 
+use crate::baseline::alone_time_cached;
 use crate::parallel::run_scenarios;
 use calciom::{
-    AppObservation, DynamicPolicy, EfficiencyMetric, Error, Granularity, Scenario, Session,
-    SessionReport, Strategy,
+    AppObservation, DynamicPolicy, EfficiencyMetric, Error, Granularity, Scenario, SessionReport,
+    Strategy,
 };
 use mpiio::AppConfig;
 use pfs::{AppId, PfsConfig};
@@ -70,11 +71,12 @@ impl StrategyComparison {
 }
 
 /// Measures each application's stand-alone I/O time on the given file
-/// system.
+/// system, answering repeated requests from the process-wide
+/// [`BaselineCache`](crate::BaselineCache).
 pub fn alone_times(pfs: &PfsConfig, apps: &[AppConfig]) -> Result<BTreeMap<AppId, f64>, Error> {
     let mut alone = BTreeMap::new();
     for app in apps {
-        alone.insert(app.id, Session::run_alone(app.clone(), pfs.clone())?);
+        alone.insert(app.id, alone_time_cached(app, pfs)?);
     }
     Ok(alone)
 }

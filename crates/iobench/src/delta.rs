@@ -7,11 +7,12 @@
 //! (A, B) is then the mirror of (B, A). A sweep runs one simulation per dt
 //! value (in parallel) plus the two stand-alone baselines.
 
+use crate::baseline::alone_time_cached;
 use crate::expected::expected_times;
 use crate::parallel::run_scenarios;
 use calciom::{
     cpu_seconds_wasted_per_core, AppObservation, DynamicPolicy, EfficiencyMetric, Error,
-    Granularity, Scenario, Session, SessionError, SessionReport, Strategy,
+    Granularity, Scenario, SessionError, SessionReport, Strategy,
 };
 use mpiio::AppConfig;
 use pfs::PfsConfig;
@@ -146,10 +147,14 @@ pub fn dt_range(lo: f64, hi: f64, step: f64) -> Vec<f64> {
 /// Runs a Δ-graph sweep: one simulation per dt plus the two stand-alone
 /// baselines. The per-dt sessions are fanned out across worker threads
 /// over the shared transport (see [`run_scenarios`]); the simulation is
-/// deterministic, so the result is identical to a sequential sweep.
+/// deterministic, so the result is identical to a sequential sweep. The
+/// baselines come from the process-wide
+/// [`BaselineCache`](crate::BaselineCache), so repeated sweeps over the
+/// same application pair (one per strategy, typically) simulate each
+/// baseline only once.
 pub fn run_delta_sweep(cfg: &DeltaSweepConfig) -> Result<DeltaSweepResult, Error> {
-    let a_alone = Session::run_alone(cfg.app_a.clone(), cfg.pfs.clone())?;
-    let b_alone = Session::run_alone(cfg.app_b.clone(), cfg.pfs.clone())?;
+    let a_alone = alone_time_cached(&cfg.app_a, &cfg.pfs)?;
+    let b_alone = alone_time_cached(&cfg.app_b, &cfg.pfs)?;
 
     let scenarios = cfg
         .dts

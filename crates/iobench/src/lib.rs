@@ -5,6 +5,9 @@
 //! it starts writing. This crate is the equivalent driver for the simulated
 //! stack:
 //!
+//! * [`baseline`] — the process-wide [`BaselineCache`] memoizing the
+//!   `T_alone` stand-alone runs every sweep needs, keyed on the exact
+//!   `(application, file system)` pair.
 //! * [`delta`] — Δ-graph sweeps (write time / interference factor versus the
 //!   start offset `dt` between two applications), the device used by most
 //!   figures.
@@ -17,9 +20,11 @@
 //!   as "Expected" in the paper's Δ-graphs.
 //! * [`series`] — result series and plain-text tables used by the bench
 //!   binaries to print exactly the rows/curves each figure shows.
-//! * [`parallel`] — scoped-thread parallel maps plus [`run_scenarios`],
-//!   which fans fully-built `Session<SharedTransport>` values out across
-//!   worker threads (deterministic: same reports as a sequential run).
+//! * [`parallel`] — scoped-thread parallel maps plus [`run_scenarios`] /
+//!   [`run_scenarios_traced`], which fan fully-built
+//!   `Session<SharedTransport>` values out across worker threads
+//!   (deterministic: same reports — and same recorded traces — as a
+//!   sequential run).
 //!
 //! Every fallible entry point returns [`calciom::Error`] — the typed error
 //! surface shared by the whole stack.
@@ -41,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod baseline;
 pub mod compare;
 pub mod delta;
 pub mod expected;
@@ -49,9 +55,10 @@ pub mod periodic;
 pub mod series;
 
 pub use aggregate::{run_size_sweep, SizeSweepConfig, SizeSweepPoint};
+pub use baseline::{alone_time_cached, BaselineCache};
 pub use compare::{alone_times, compare_strategies, StrategyComparison, StrategyRun};
 pub use delta::{dt_range, run_delta_sweep, DeltaPoint, DeltaSweepConfig, DeltaSweepResult};
 pub use expected::{expected_factors, expected_times, ExpectedTimes};
-pub use parallel::{parallel_map, parallel_map_owned, run_scenarios};
+pub use parallel::{parallel_map, parallel_map_owned, run_scenarios, run_scenarios_traced};
 pub use periodic::{run_periodic, PeriodicConfig, PeriodicResult};
 pub use series::{FigureData, Series};

@@ -13,7 +13,7 @@
 //!   concurrently. The simulation is deterministic, so the reports are
 //!   bit-identical to a sequential run.
 
-use calciom::{Error, Scenario, Session, SessionReport, SharedTransport};
+use calciom::{Error, Scenario, Session, SessionReport, SharedTransport, Trace, TraceRecorder};
 use std::thread;
 
 /// Applies `f` to every item of `items`, distributing the work over up to
@@ -129,6 +129,33 @@ pub fn run_scenarios(
     parallel_map_owned(sessions, max_threads, Session::execute)
         .into_iter()
         .collect()
+}
+
+/// [`run_scenarios`] with observation: each session carries its own
+/// [`TraceRecorder`] to its worker thread and returns the report *and* the
+/// recorded [`Trace`]. Traces are deterministic like the reports — the
+/// recorded stream is identical to what a sequential, locally-transported
+/// run would produce.
+pub fn run_scenarios_traced(
+    scenarios: &[Scenario],
+    max_threads: usize,
+) -> Result<Vec<(SessionReport, Trace)>, Error> {
+    let jobs = scenarios
+        .iter()
+        .map(|s| {
+            Ok((
+                Session::<SharedTransport>::with_transport(s)?,
+                TraceRecorder::for_scenario(s),
+            ))
+        })
+        .collect::<Result<Vec<_>, Error>>()?;
+    parallel_map_owned(jobs, max_threads, |(session, mut recorder)| {
+        session
+            .execute_with(&mut recorder)
+            .map(|report| (report, recorder.into_trace()))
+    })
+    .into_iter()
+    .collect()
 }
 
 fn worker_count(max_threads: usize, items: usize) -> usize {

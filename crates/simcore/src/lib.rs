@@ -9,6 +9,9 @@
 //!   *flows* draining bytes through shared capacity *constraints* with
 //!   weighted max-min fairness. This is how cross-application interference
 //!   at the parallel file system emerges in the simulation.
+//! * [`observe`] — time-stamped event streams ([`Stamped`], [`EventLog`]),
+//!   the substrate of the observability layer: higher crates define domain
+//!   events and stream them through observers built on these containers.
 //! * [`stats`] — time series, online summaries and histograms used by the
 //!   experiment harnesses.
 //! * [`rng`] — a small deterministic PRNG for workload synthesis.
@@ -48,12 +51,14 @@
 
 pub mod event;
 pub mod fluid;
+pub mod observe;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventId, EventQueue};
 pub use fluid::{ConstraintId, FlowId, FlowProgress, FlowSpec, FluidNetwork};
+pub use observe::{EventLog, Stamped};
 pub use rng::DetRng;
 pub use stats::{Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime, TICKS_PER_SEC};

@@ -1,11 +1,13 @@
 //! Quickstart: two applications share a parallel file system, with and
-//! without CALCioM coordination.
+//! without CALCioM coordination — and the coordinated run is *observed*:
+//! a `TraceRecorder` captures the full event stream, the trace round-trips
+//! through its text codec, and replaying it re-derives the report.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use calciom::{
     AccessPattern, AppConfig, AppId, EfficiencyMetric, Error, Granularity, PfsConfig, Scenario,
-    Session, Strategy,
+    Session, Strategy, Trace, TraceRecorder,
 };
 use std::collections::BTreeMap;
 
@@ -64,5 +66,20 @@ fn main() -> Result<(), Error> {
     let decoded = Scenario::from_text(&scenario.to_text())?;
     assert_eq!(decoded.run()?, scenario.run()?);
     println!("round-tripped scenario reproduces its report bit for bit");
+
+    // Sessions stream: record the coordinated run's full event stream…
+    let mut recorder = TraceRecorder::for_scenario(&scenario);
+    let report = Session::new(&scenario)?.execute_with(&mut recorder)?;
+    let trace = recorder.into_trace();
+    println!(
+        "recorded {} events; B waited {:.2}s for its grant",
+        trace.len(),
+        report.app(AppId(1)).unwrap().first_phase().wait_seconds
+    );
+    // …round-trip it through the text codec, and replay it: the report is
+    // a fold of the very same stream, so the replay matches bit for bit.
+    let replayed = Trace::from_text(&trace.to_text())?.replay_report();
+    assert_eq!(replayed, report);
+    println!("decoded trace replays the report bit for bit");
     Ok(())
 }

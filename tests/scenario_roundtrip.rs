@@ -6,13 +6,17 @@
 //!   randomness, order-independent event handling);
 //! * the thread-safe `SharedTransport` sweep path of `iobench` produces
 //!   reports identical to the sequential `LocalTransport` path while
-//!   genuinely running sessions on at least two worker threads.
+//!   genuinely running sessions on at least two worker threads;
+//! * the observable-session layer obeys the same convention: the recorded
+//!   `Trace` is identical across transports and repeated runs, its text
+//!   codec round-trips exactly, and replaying it re-derives the
+//!   originating report bit for bit.
 
 use calciom::{
     AccessPattern, AppConfig, AppId, DynamicPolicy, EfficiencyMetric, Granularity, PfsConfig,
-    Scenario, Session, SessionReport, SharedTransport, Strategy,
+    Scenario, Session, SessionReport, SharedTransport, Strategy, Trace, TraceRecorder,
 };
-use iobench::{parallel_map_owned, run_scenarios};
+use iobench::{parallel_map_owned, run_scenarios, run_scenarios_traced};
 use simcore::SimDuration;
 use std::collections::HashSet;
 use std::sync::Mutex;
@@ -116,4 +120,92 @@ fn shared_transport_sweep_matches_sequential_and_uses_multiple_threads() {
     // And the high-level helper agrees with both.
     let via_helper = run_scenarios(&scenarios, 0).unwrap();
     assert_eq!(via_helper, sequential);
+}
+
+/// The canonical two-app serialize scenario of the trace-determinism
+/// checks.
+fn serialize_scenario() -> Scenario {
+    Scenario::builder(PfsConfig::grid5000_rennes())
+        .app(AppConfig::new(
+            AppId(0),
+            "A",
+            336,
+            AccessPattern::contiguous(16.0 * MB),
+        ))
+        .app(
+            AppConfig::new(AppId(1), "B", 336, AccessPattern::contiguous(16.0 * MB))
+                .starting_at_secs(2.0),
+        )
+        .strategy(Strategy::FcfsSerialize)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn traces_are_identical_across_transports_and_repeated_runs() {
+    let scenario = serialize_scenario();
+
+    let record_local = || {
+        let mut recorder = TraceRecorder::for_scenario(&scenario);
+        let report = Session::new(&scenario)
+            .unwrap()
+            .execute_with(&mut recorder)
+            .unwrap();
+        (report, recorder.into_trace())
+    };
+    let record_shared = || {
+        let mut recorder = TraceRecorder::for_scenario(&scenario);
+        let report = Session::<SharedTransport>::with_transport(&scenario)
+            .unwrap()
+            .execute_with(&mut recorder)
+            .unwrap();
+        (report, recorder.into_trace())
+    };
+
+    let (local_report, local_trace) = record_local();
+    let (shared_report, shared_trace) = record_shared();
+
+    // The transport changes neither the report nor the event stream.
+    assert_eq!(local_report, shared_report);
+    assert_eq!(
+        local_trace, shared_trace,
+        "trace must be transport-agnostic"
+    );
+    assert_eq!(local_trace.to_text(), shared_trace.to_text());
+
+    // Repeated runs are bit-identical too.
+    let (_, local_again) = record_local();
+    let (_, shared_again) = record_shared();
+    assert_eq!(local_again, local_trace);
+    assert_eq!(shared_again, shared_trace);
+
+    // And the parallel sweep helper records the very same stream even when
+    // sessions execute on worker threads.
+    let traced = run_scenarios_traced(&[scenario.clone(), scenario.clone()], 2).unwrap();
+    for (report, trace) in traced {
+        assert_eq!(report, local_report);
+        assert_eq!(trace, local_trace);
+    }
+}
+
+#[test]
+fn recorded_traces_replay_and_round_trip_to_the_same_report() {
+    for scenario in scenarios_under_test() {
+        let mut recorder = TraceRecorder::for_scenario(&scenario);
+        let report = Session::new(&scenario)
+            .unwrap()
+            .execute_with(&mut recorder)
+            .unwrap();
+        // Observation must not perturb the simulation.
+        assert_eq!(report, scenario.run().unwrap());
+
+        let trace = recorder.into_trace();
+        // Replay guarantee: the report is a fold of the recorded stream.
+        assert_eq!(trace.replay_report(), report);
+        // Codec guarantee: decode(encode(trace)) is the identity, down to
+        // the replayed report.
+        let decoded = Trace::from_text(&trace.to_text()).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.replay_report(), report);
+    }
 }
