@@ -269,6 +269,41 @@ fn bench_fig12_delay(c: &mut Criterion) {
     });
 }
 
+fn bench_kernel_scaling(c: &mut Criterion) {
+    // The scale acceptance of the kernel re-founding: no regression on the
+    // paper-sized 2-app sessions, and sub-quadratic growth in session
+    // wall-clock as the machine mix grows from N = 128 to N = 512. Each
+    // iteration is one full `Session` (build + execute) over the very mix
+    // `fig13_scale` plots, so the two trajectories stay comparable.
+    let session = |n: usize, strategy: Strategy| {
+        let scenario = calciom_bench::figures::fig13::mix(n).scenario(strategy);
+        move || black_box(scenario.run().unwrap().makespan)
+    };
+    let mut group = c.benchmark_group("kernel_scaling");
+    for (label, strategy) in [
+        ("fcfs", Strategy::FcfsSerialize),
+        ("interfering", Strategy::Interfere),
+        ("dynamic", Strategy::Dynamic),
+    ] {
+        for n in [2usize, 128, 512] {
+            group.bench_function(&format!("{label}_n{n}"), |bench| {
+                let mut run = session(n, strategy);
+                bench.iter(&mut run)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = kernel;
+    // One full machine-scale session per iteration: a small sample keeps
+    // the group to seconds while the per-N means still expose the
+    // growth curve.
+    config = Criterion::default().sample_size(5);
+    targets = bench_kernel_scaling
+);
+
 criterion_group!(
     name = figures;
     // Each iteration is a full simulated scenario (milliseconds); a small
@@ -289,4 +324,4 @@ criterion_group!(
         bench_fig11_dynamic,
         bench_fig12_delay
 );
-criterion_main!(figures);
+criterion_main!(figures, kernel);

@@ -1,0 +1,9 @@
+//! Runs the machine-level scale experiment (N-application mixes under all
+//! five strategies) through the experiment registry. Pass `--quick` for
+//! the reduced CI sweep (N ≤ 32).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    calciom_bench::cli::figure_main("fig13_scale")
+}

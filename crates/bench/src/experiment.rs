@@ -109,8 +109,8 @@ impl Registry {
 
     /// The standard registry: the figure experiments reproduced from the
     /// paper (Figs. 1–12 and the Sec. II-B probability panel), the fig05
-    /// bandwidth-timeline companion, and the three ablation studies, in
-    /// paper order.
+    /// bandwidth-timeline companion, the fig13 machine-level scale
+    /// extension, and the three ablation studies, in paper order.
     pub fn standard() -> Self {
         let mut registry = Registry::new();
         registry.register(Box::new(figures::fig01::Fig01));
@@ -126,6 +126,7 @@ impl Registry {
         registry.register(Box::new(figures::fig10::Fig10));
         registry.register(Box::new(figures::fig11::Fig11));
         registry.register(Box::new(figures::fig12::Fig12));
+        registry.register(Box::new(figures::fig13::Fig13));
         registry.register(Box::new(figures::ablation::AblationGamma));
         registry.register(Box::new(figures::ablation::AblationSharePolicy));
         registry.register(Box::new(figures::ablation::AblationOverhead));
@@ -189,7 +190,7 @@ mod tests {
     #[test]
     fn standard_registry_has_every_figure_and_ablation() {
         let registry = Registry::standard();
-        assert_eq!(registry.len(), 16);
+        assert_eq!(registry.len(), 17);
         assert!(!registry.is_empty());
         for name in [
             "fig01_workload",
@@ -205,6 +206,7 @@ mod tests {
             "fig10_interrupt_granularity",
             "fig11_dynamic",
             "fig12_delay",
+            "fig13_scale",
             "ablation_gamma",
             "ablation_share_policy",
             "ablation_coordination_overhead",

@@ -13,6 +13,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod fig13;
 pub mod sec2b;
 
 use iobench::FigureData;

@@ -460,6 +460,128 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_many_apps_grant_in_arrival_order() {
+        // Machine-mix regime: N applications, all with identical work, so
+        // the dynamic policy always prefers waiting (interrupting an
+        // accessor with as much remaining work as the requester saves
+        // nothing). Grants must then flow strictly in arrival order.
+        const N: usize = 8;
+        let mut arb = arbiter(Strategy::Dynamic);
+        for i in 0..N {
+            arb.update_info(info(i, 512, 10.0, 10.0));
+        }
+        assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);
+        for i in 1..N {
+            assert_eq!(arb.request_access(AppId(i)), AccessOutcome::MustWait);
+            assert!(arb.is_pending(AppId(i)));
+        }
+        assert_eq!(arb.parked(), (1..N).map(AppId).collect::<Vec<_>>());
+
+        let mut grant_order = vec![AppId(0)];
+        for _ in 1..N {
+            let current = arb.active()[0];
+            // Mid-phase coordination points never preempt here: waiting is
+            // always at least as cheap as interrupting an equal peer.
+            assert_eq!(arb.yield_point(current), YieldOutcome::Continue);
+            arb.release(current);
+            let next = arb.active();
+            assert_eq!(next.len(), 1, "exactly one accessor at a time");
+            grant_order.push(next[0]);
+        }
+        assert_eq!(
+            grant_order,
+            (0..N).map(AppId).collect::<Vec<_>>(),
+            "grants must follow arrival order"
+        );
+    }
+
+    #[test]
+    fn dynamic_many_apps_interruption_fairness() {
+        // A long-running accessor among N short requesters: the policy
+        // interrupts the accessor, and once the interrupters drain, the
+        // interrupted application resumes *before* any later arrival —
+        // interruption must not starve the preempted application.
+        let mut arb = arbiter(Strategy::Dynamic);
+        arb.update_info(info(0, 2048, 100.0, 90.0));
+        arb.request_access(AppId(0));
+        // Three small applications arrive while 0 holds the file system.
+        for i in 1..4 {
+            arb.update_info(info(i, 2048, 5.0, 5.0));
+            assert_eq!(arb.request_access(AppId(i)), AccessOutcome::MustWait);
+        }
+        // 0 discovers the interruption request at its next yield point.
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::YieldNow);
+        assert!(!arb.is_granted(AppId(0)));
+        assert!(arb.is_pending(AppId(0)), "interrupted, not forgotten");
+        let first = arb.active()[0];
+        assert_ne!(first, AppId(0), "a waiting newcomer got the slot");
+
+        // When the interrupter releases, the interrupted application
+        // resumes *before* the later waiters (they arrived after it was
+        // already holding the file system).
+        arb.release(first);
+        assert!(
+            arb.is_granted(AppId(0)),
+            "interrupted application resumes before later waiters"
+        );
+        // An interruption request exists only at request time: the parked
+        // waiters do not preempt the resumed application again.
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::Continue);
+        arb.release(AppId(0));
+
+        // The remaining waiters then drain in arrival order.
+        let mut drained = Vec::new();
+        while let Some(&next) = arb.active().first() {
+            drained.push(next);
+            arb.release(next);
+        }
+        let mut expected: Vec<AppId> = (1..4).map(AppId).filter(|a| *a != first).collect();
+        expected.sort();
+        assert_eq!(drained, expected, "later waiters drain in arrival order");
+        assert!(arb.active().is_empty());
+        assert!(arb.parked().is_empty());
+    }
+
+    #[test]
+    fn dynamic_messages_scale_linearly_with_coordination_points() {
+        // Every protocol call (`update_info`, `request_access`,
+        // `yield_point`, `release`) is exactly one counted message, so the
+        // total is an exact linear function of the number of coordination
+        // points — no hidden N² chatter as the mix grows.
+        for n in [4usize, 8, 16, 32] {
+            let mut arb = arbiter(Strategy::Dynamic);
+            let yields_per_app = 3u64;
+            for i in 0..n {
+                arb.update_info(info(i, 256, 10.0, 10.0));
+                arb.request_access(AppId(i));
+            }
+            for round in 0..yields_per_app {
+                for i in 0..n {
+                    if arb.is_granted(AppId(i)) {
+                        arb.yield_point(AppId(i));
+                    } else {
+                        // Refresh shared information at the coordination
+                        // point instead.
+                        arb.update_info(info(i, 256, 10.0, 10.0 - round as f64));
+                    }
+                }
+            }
+            for i in 0..n {
+                arb.release(AppId(i));
+            }
+            let coordination_points = n as u64      // initial update_info
+                + n as u64                          // request_access
+                + yields_per_app * n as u64         // one call per point
+                + n as u64; // release
+            assert_eq!(
+                arb.message_count(),
+                coordination_points,
+                "messages must be exactly linear in coordination points (n = {n})"
+            );
+        }
+    }
+
+    #[test]
     fn double_request_from_same_app_stays_granted() {
         let mut arb = arbiter(Strategy::FcfsSerialize);
         assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);

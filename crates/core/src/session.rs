@@ -9,6 +9,15 @@
 //! experiment harnesses compute write times, interference factors, and
 //! machine-wide efficiency metrics.
 //!
+//! Execution is founded on the [`simcore::Kernel`]: the kernel owns the
+//! simulated clock, couples the session's discrete events (phase arrivals,
+//! communication completions, resume notifications, delay-budget expiries)
+//! with the file system's continuous evolution (transfer completions,
+//! cache transitions — [`Pfs`] is the kernel's
+//! [`Medium`](simcore::Medium)), and hands each decision point back to the
+//! session's event handlers. Arbiter decisions are taken inside those
+//! handlers; nothing outside the kernel advances time.
+//!
 //! The session reaches the shared [`Arbiter`] through a
 //! [`CoordinationTransport`]: [`LocalTransport`] (the default) for
 //! single-threaded drivers, [`SharedTransport`](crate::SharedTransport)
@@ -35,7 +44,7 @@ use crate::strategy::{AccessOutcome, Strategy, YieldOutcome};
 use mpiio::{AppConfig, Granularity, IoPlan, StepKind};
 use pfs::{AppId, Pfs, PfsConfig, TransferId};
 use serde::{Deserialize, Serialize};
-use simcore::event::EventQueue;
+use simcore::kernel::Kernel;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -298,11 +307,14 @@ impl AppRuntime {
 /// on its creating thread and avoids the lock.
 pub struct Session<T: CoordinationTransport = LocalTransport> {
     cfg: Scenario,
-    pfs: Pfs,
     transport: T,
-    queue: EventQueue<Event>,
+    /// The discrete-event kernel: owns the clock, the event queue, and the
+    /// file system (the continuous [`simcore::Medium`] it drives).
+    kernel: Kernel<Event, Pfs>,
     apps: BTreeMap<AppId, AppRuntime>,
     transfer_owner: BTreeMap<TransferId, AppId>,
+    /// Applications that have not yet finished all of their phases.
+    live_apps: usize,
 }
 
 impl Session<LocalTransport> {
@@ -337,20 +349,21 @@ impl<T: CoordinationTransport> Session<T> {
         let cfg = scenario.clone();
         let pfs = Pfs::new(cfg.pfs.clone())?;
         let transport = T::new(Arbiter::new(cfg.strategy, cfg.policy));
-        let mut queue = EventQueue::new();
+        let mut kernel = Kernel::new(pfs);
         let mut apps = BTreeMap::new();
         for app_cfg in &cfg.apps {
             let rt = AppRuntime::new(app_cfg.clone(), &cfg.pfs);
-            queue.schedule(rt.requested_start, Event::PhaseStart(app_cfg.id));
+            kernel.schedule(rt.requested_start, Event::PhaseStart(app_cfg.id));
             apps.insert(app_cfg.id, rt);
         }
+        let live_apps = apps.len();
         Ok(Session {
             cfg,
-            pfs,
             transport,
-            queue,
+            kernel,
             apps,
             transfer_owner: BTreeMap::new(),
+            live_apps,
         })
     }
 
@@ -376,29 +389,24 @@ impl<T: CoordinationTransport> Session<T> {
             observer,
         };
         let horizon = SimTime::ZERO + self.cfg.horizon;
-        loop {
-            if self.apps.values().all(|a| a.state == RtState::Done) {
-                break;
-            }
-            let tq = self.queue.peek_time();
-            let tp = self.pfs.next_event_time();
-            let next = match (tq, tp) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => {
-                    let apps = self
-                        .apps
-                        .values()
-                        .filter(|a| a.state != RtState::Done)
-                        .map(|a| DeadlockApp {
-                            app: a.cfg.id,
-                            state: a.state.public(),
-                            granted: self.transport.with(|arb| arb.is_granted(a.cfg.id)),
-                        })
-                        .collect();
-                    return Err(SessionError::Deadlock { apps }.into());
-                }
+        while self.live_apps > 0 {
+            // The kernel owns time: the next decision point is the earlier
+            // of its queue head (phase arrival, communication completion,
+            // resume notification, delay-budget expiry) and the file
+            // system's next internal change (transfer completion, cache
+            // transition).
+            let Some(next) = self.kernel.peek_next_time() else {
+                let apps = self
+                    .apps
+                    .values()
+                    .filter(|a| a.state != RtState::Done)
+                    .map(|a| DeadlockApp {
+                        app: a.cfg.id,
+                        state: a.state.public(),
+                        granted: self.transport.with(|arb| arb.is_granted(a.cfg.id)),
+                    })
+                    .collect();
+                return Err(SessionError::Deadlock { apps }.into());
             };
             if next > horizon {
                 return Err(SessionError::HorizonExceeded {
@@ -407,23 +415,20 @@ impl<T: CoordinationTransport> Session<T> {
                 .into());
             }
 
-            self.pfs.advance_to(next);
-            let now = self.pfs.now();
+            self.kernel.advance_to(next);
+            let now = self.kernel.now();
 
             // Handle write completions first: they may release the arbiter
             // slot that a queued event's application is waiting for.
-            for tid in self.pfs.poll_completed() {
+            for tid in self.kernel.medium_mut().poll_completed() {
                 if let Some(app) = self.transfer_owner.remove(&tid) {
                     self.on_write_complete(tid, app, now, &mut em);
                 }
             }
 
-            // Handle all queued events scheduled at (or before) `now`.
-            while let Some(t) = self.queue.peek_time() {
-                if t > now {
-                    break;
-                }
-                let (_, event) = self.queue.pop().expect("peeked event exists");
+            // Handle all queued events due now (including events handlers
+            // schedule at the present).
+            while let Some(event) = self.kernel.pop_due() {
                 self.on_event(event, now, &mut em);
             }
 
@@ -432,7 +437,7 @@ impl<T: CoordinationTransport> Session<T> {
             // capture every bandwidth plateau.
             if em.observer.wants_progress() {
                 for (&tid, &app) in &self.transfer_owner {
-                    if let Some(p) = self.pfs.progress(tid) {
+                    if let Some(p) = self.kernel.medium_mut().progress(tid) {
                         em.emit(
                             now,
                             SimEvent::TransferProgress {
@@ -447,7 +452,7 @@ impl<T: CoordinationTransport> Session<T> {
             }
         }
 
-        let makespan = self.pfs.now();
+        let makespan = self.kernel.now();
         em.emit(
             makespan,
             SimEvent::SessionEnded {
@@ -621,7 +626,7 @@ impl<T: CoordinationTransport> Session<T> {
                         let rt = self.apps.get_mut(&app).expect("known app");
                         rt.state = RtState::WantAccess;
                         let phase = rt.phase;
-                        self.queue.schedule(
+                        self.kernel.schedule(
                             now + SimDuration::from_secs(secs),
                             Event::DelayExpired(app, phase),
                         );
@@ -676,11 +681,11 @@ impl<T: CoordinationTransport> Session<T> {
                 em.emit(now, SimEvent::CommStarted { app, seconds });
                 let rt = self.apps.get_mut(&app).expect("known app");
                 rt.state = RtState::Comm;
-                self.queue
+                self.kernel
                     .schedule(now + SimDuration::from_secs(seconds), Event::CommDone(app));
             }
             StepKind::Write { bytes } => {
-                let tid = self.pfs.submit_write(app, bytes, procs);
+                let tid = self.kernel.medium_mut().submit_write(app, bytes, procs);
                 em.emit(
                     now,
                     SimEvent::TransferStarted {
@@ -730,9 +735,10 @@ impl<T: CoordinationTransport> Session<T> {
         if more_phases {
             rt.reset_phase_accounting(next_start);
             rt.state = RtState::Idle;
-            self.queue.schedule(next_start, Event::PhaseStart(app));
+            self.kernel.schedule(next_start, Event::PhaseStart(app));
         } else {
             rt.state = RtState::Done;
+            self.live_apps -= 1;
         }
     }
 
@@ -751,7 +757,7 @@ impl<T: CoordinationTransport> Session<T> {
                 .collect()
         });
         for app in granted {
-            self.queue.schedule(now + overhead, Event::Resume(app));
+            self.kernel.schedule(now + overhead, Event::Resume(app));
         }
     }
 }

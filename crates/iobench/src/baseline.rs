@@ -13,6 +13,24 @@
 //! two configurations collide only if they describe bit-identical
 //! simulations — in which case the cached value is, by determinism, the
 //! value a fresh run would produce.
+//!
+//! ## Concurrency contract
+//!
+//! One cache may be shared by concurrent sweeps (the sharded
+//! [`run_scenarios_sharded`](crate::run_scenarios_sharded) batches all go
+//! through one instance):
+//!
+//! * **Values** — lookups hold the table lock, simulations run outside it.
+//!   Two threads missing on the same pair both simulate, but the
+//!   simulation is deterministic, so whichever insert lands last writes
+//!   the same value: a cached answer never depends on interleaving.
+//! * **Counters** — every request increments *exactly one* of `hits` /
+//!   `misses` (atomically), so `hits() + misses()` always equals the total
+//!   number of requests, from any mix of threads — including requests
+//!   whose baseline simulation fails (they count as misses: a simulation
+//!   really was attempted). A duplicated concurrent miss counts as two
+//!   misses for the same reason, hence `len() <= misses()`, with equality
+//!   once no two threads race on a fresh pair and nothing errors.
 
 use calciom::{Error, Scenario, Session};
 use mpiio::AppConfig;
@@ -53,10 +71,12 @@ impl BaselineCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(cached);
         }
-        // Simulate outside the lock: concurrent misses for the same pair
-        // duplicate work but always insert the same deterministic value.
-        let value = Session::run_alone(app.clone(), pfs.clone())?;
+        // Count the miss up front so the hits/misses invariant holds even
+        // when the simulation below fails, then simulate outside the
+        // lock: concurrent misses for the same pair duplicate work but
+        // always insert the same deterministic value.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Session::run_alone(app.clone(), pfs.clone())?;
         self.map
             .lock()
             .expect("baseline cache lock")
@@ -165,11 +185,62 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_sweeps_keep_counters_consistent() {
+        // The documented contract: whatever the interleaving, every
+        // request lands in exactly one counter and every cached value is
+        // the deterministic simulation result.
+        let cache = BaselineCache::new();
+        let pfs = PfsConfig::grid5000_rennes();
+        let apps: Vec<AppConfig> = (0..4).map(|i| app(i, 48 + 16 * i as u32, 8.0)).collect();
+        let expected: Vec<f64> = apps
+            .iter()
+            .map(|a| Session::run_alone(a.clone(), pfs.clone()).unwrap())
+            .collect();
+
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 5;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                let apps = &apps;
+                let expected = &expected;
+                let pfs = &pfs;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        // Shards walk the pairs in different orders to
+                        // exercise racy first requests.
+                        for k in 0..apps.len() {
+                            let i = (k + t + round) % apps.len();
+                            let got = cache.alone_time(&apps[i], pfs).unwrap();
+                            assert_eq!(got, expected[i], "interleaving changed a value");
+                        }
+                    }
+                });
+            }
+        });
+
+        let requests = (THREADS * ROUNDS * apps.len()) as u64;
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            requests,
+            "every request must land in exactly one counter"
+        );
+        assert_eq!(cache.len(), apps.len());
+        // Duplicate concurrent misses are allowed (each one really
+        // simulated) but can never exceed one per thread per pair.
+        assert!(cache.misses() >= apps.len() as u64);
+        assert!(cache.misses() <= (apps.len() * THREADS) as u64);
+    }
+
+    #[test]
     fn invalid_configurations_still_error_and_are_not_cached() {
         let cache = BaselineCache::new();
         let mut pfs = PfsConfig::grid5000_rennes();
         pfs.num_servers = 0;
         assert!(cache.alone_time(&app(0, 336, 16.0), &pfs).is_err());
         assert!(cache.is_empty());
+        // The counter invariant covers failed requests too: the attempt
+        // counts as a miss, so hits + misses still equals total requests.
+        assert_eq!(cache.hits() + cache.misses(), 1);
     }
 }

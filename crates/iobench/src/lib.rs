@@ -24,7 +24,9 @@
 //!   [`run_scenarios_traced`], which fan fully-built
 //!   `Session<SharedTransport>` values out across worker threads
 //!   (deterministic: same reports — and same recorded traces — as a
-//!   sequential run).
+//!   sequential run), and [`run_scenarios_sharded`], the machine-scale
+//!   variant that batches scenarios into shards and resolves `T_alone`
+//!   baselines through a shared [`BaselineCache`] as it goes.
 //!
 //! Every fallible entry point returns [`calciom::Error`] — the typed error
 //! surface shared by the whole stack.
@@ -59,6 +61,9 @@ pub use baseline::{alone_time_cached, BaselineCache};
 pub use compare::{alone_times, compare_strategies, StrategyComparison, StrategyRun};
 pub use delta::{dt_range, run_delta_sweep, DeltaPoint, DeltaSweepConfig, DeltaSweepResult};
 pub use expected::{expected_factors, expected_times, ExpectedTimes};
-pub use parallel::{parallel_map, parallel_map_owned, run_scenarios, run_scenarios_traced};
+pub use parallel::{
+    parallel_map, parallel_map_owned, run_scenarios, run_scenarios_sharded, run_scenarios_traced,
+    ShardedRun,
+};
 pub use periodic::{run_periodic, PeriodicConfig, PeriodicResult};
 pub use series::{FigureData, Series};

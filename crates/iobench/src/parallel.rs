@@ -13,8 +13,12 @@
 //!   concurrently. The simulation is deterministic, so the reports are
 //!   bit-identical to a sequential run.
 
+use crate::baseline::BaselineCache;
 use calciom::{Error, Scenario, Session, SessionReport, SharedTransport, Trace, TraceRecorder};
+use pfs::AppId;
+use std::collections::BTreeMap;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Applies `f` to every item of `items`, distributing the work over up to
 /// `max_threads` worker threads (or the number of available cores if 0),
@@ -158,6 +162,67 @@ pub fn run_scenarios_traced(
     .collect()
 }
 
+/// The outcome of one scenario of a sharded sweep: the report, the
+/// `T_alone` baseline of every application (served through the sweep's
+/// [`BaselineCache`]), and the wall-clock the session's execution took on
+/// its worker thread.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// The session report.
+    pub report: SessionReport,
+    /// Stand-alone first-phase I/O time per application — the baselines
+    /// machine-wide metrics need ([`SessionReport::metric`]).
+    pub alone: BTreeMap<AppId, f64>,
+    /// Host wall-clock spent executing the session (excludes building and
+    /// baseline lookups) — the scale experiments' throughput signal.
+    pub wall: Duration,
+}
+
+/// [`run_scenarios`] for machine-scale sweeps: the scenario list is split
+/// into `shards` contiguous batches, each batch executes on its own worker
+/// thread (`std::thread::scope`), and every run also resolves its
+/// applications' `T_alone` baselines through `cache`.
+///
+/// Passing [`BaselineCache::global`] (or any one cache) shares baselines
+/// across all shards — concurrent lookups of the same `(app, pfs)` pair
+/// are safe and keep the hit/miss counters consistent (see
+/// [`BaselineCache`]'s concurrency contract). Passing a fresh cache per
+/// call isolates sweeps instead. Reports are deterministic either way;
+/// only `wall` varies between runs.
+pub fn run_scenarios_sharded(
+    scenarios: &[Scenario],
+    shards: usize,
+    cache: &BaselineCache,
+) -> Result<Vec<ShardedRun>, Error> {
+    // Build every session up front so a configuration error in any
+    // scenario surfaces before a single simulation starts.
+    let jobs = scenarios
+        .iter()
+        .map(|scenario| {
+            Ok((
+                Session::<SharedTransport>::with_transport(scenario)?,
+                scenario,
+            ))
+        })
+        .collect::<Result<Vec<_>, Error>>()?;
+    parallel_map_owned(jobs, shards, |(session, scenario)| {
+        let started = Instant::now();
+        let report = session.execute()?;
+        let wall = started.elapsed();
+        let mut alone = BTreeMap::new();
+        for app in &scenario.apps {
+            alone.insert(app.id, cache.alone_time(app, &scenario.pfs)?);
+        }
+        Ok(ShardedRun {
+            report,
+            alone,
+            wall,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
 fn worker_count(max_threads: usize, items: usize) -> usize {
     let workers = if max_threads == 0 {
         thread::available_parallelism()
@@ -279,5 +344,43 @@ mod tests {
         scenarios[2].apps.clear();
         let err = run_scenarios(&scenarios, 2).unwrap_err();
         assert_eq!(err, Error::Config(calciom::ConfigError::NoApplications));
+    }
+
+    #[test]
+    fn sharded_sweep_matches_sequential_and_fills_baselines() {
+        let scenarios = scenario_grid();
+        let cache = BaselineCache::new();
+        let runs = run_scenarios_sharded(&scenarios, 2, &cache).unwrap();
+        assert_eq!(runs.len(), scenarios.len());
+
+        for (scenario, run) in scenarios.iter().zip(&runs) {
+            assert_eq!(
+                run.report,
+                scenario.run().unwrap(),
+                "reports stay deterministic"
+            );
+            // Every application got a baseline, served through the cache.
+            assert_eq!(run.alone.len(), scenario.apps.len());
+            for app in &scenario.apps {
+                let expected = Session::run_alone(app.clone(), scenario.pfs.clone()).unwrap();
+                assert_eq!(run.alone[&app.id], expected);
+            }
+        }
+        // The grid reuses two applications across four strategies: the
+        // shared cache collapses 8 baseline requests onto 2 simulations
+        // (give or take races between the two shards on first touch).
+        assert_eq!(cache.hits() + cache.misses(), 8);
+        assert!(cache.misses() >= 2 && cache.misses() <= 4);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sharded_sweep_surfaces_configuration_errors_before_running() {
+        let mut scenarios = scenario_grid();
+        scenarios[1].apps.clear();
+        let cache = BaselineCache::new();
+        let err = run_scenarios_sharded(&scenarios, 2, &cache).unwrap_err();
+        assert_eq!(err, Error::Config(calciom::ConfigError::NoApplications));
+        assert!(cache.is_empty(), "nothing runs when building fails");
     }
 }

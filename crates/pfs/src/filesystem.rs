@@ -298,15 +298,17 @@ impl Pfs {
         if let Some(ttc) = self.net.time_to_next_completion() {
             best = Some(self.now + ttc);
         }
-        let ingest = self.per_server_ingest();
-        for (idx, server) in self.servers.iter().enumerate() {
-            if let Some(cache) = &server.cache {
-                if let Some(t) = cache.time_to_transition(ingest[idx]) {
-                    let at = self.now + SimDuration::from_secs(t);
-                    best = Some(match best {
-                        Some(b) => b.min(at),
-                        None => at,
-                    });
+        if self.cfg.cache.is_some() {
+            let ingest = self.per_server_ingest();
+            for (idx, server) in self.servers.iter().enumerate() {
+                if let Some(cache) = &server.cache {
+                    if let Some(t) = cache.time_to_transition(ingest[idx]) {
+                        let at = self.now + SimDuration::from_secs(t);
+                        best = Some(match best {
+                            Some(b) => b.min(at),
+                            None => at,
+                        });
+                    }
                 }
             }
         }
@@ -327,7 +329,14 @@ impl Pfs {
                 "Pfs::advance_to failed to converge (simulation bug)"
             );
 
-            let ingest = self.per_server_ingest();
+            // Cache bookkeeping needs the per-server ingest rates; on a
+            // cache-less file system (the common sweep configuration) the
+            // O(flows × servers) scan is skipped entirely.
+            let ingest = if self.cfg.cache.is_some() {
+                self.per_server_ingest()
+            } else {
+                Vec::new()
+            };
 
             // Next internal change point.
             let mut step_end = target;
@@ -445,6 +454,23 @@ impl Pfs {
             self.net
                 .set_capacity(server.constraint, server.effective_bandwidth(&self.cfg));
         }
+    }
+}
+
+/// The file system is the *continuous* half of a coupled simulation: a
+/// [`simcore::Kernel`] owns the clock and drives the in-flight transfers
+/// (and cache state) through this impl, interleaved with its discrete
+/// events. The kernel's clock and [`Pfs::now`] advance in lockstep — both
+/// are integer-tick, so no drift is possible.
+impl simcore::kernel::Medium for Pfs {
+    fn time_to_next(&mut self) -> Option<SimDuration> {
+        let now = self.now;
+        self.next_event_time().map(|t| t.saturating_since(now))
+    }
+
+    fn advance(&mut self, dt: SimDuration) {
+        let target = self.now + dt;
+        self.advance_to(target);
     }
 }
 

@@ -4,10 +4,18 @@
 //! the same instant fire in the order they were scheduled, which keeps
 //! simulations reproducible regardless of hash-map iteration order or
 //! floating-point tie-breaking.
+//!
+//! Cancellation is tracked through a *live set* rather than a tombstone
+//! set: [`EventQueue::cancel`] removes the id from the set of live events,
+//! and dead heap entries are discarded when they surface at the head (or in
+//! bulk once they outnumber the live ones). Auxiliary state therefore never
+//! outgrows the number of events actually pending — a long-running
+//! simulation that schedules and cancels millions of timers keeps a bounded
+//! footprint (see the `cancellation_state_stays_bounded` test).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,12 +49,18 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Once the heap holds at least this many entries, a cancellation that
+/// leaves more dead entries than live ones triggers a bulk compaction.
+const COMPACT_MIN: usize = 64;
+
 /// A time-ordered queue of events carrying payloads of type `E`.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<EventId>,
-    len: usize,
+    /// Ids of scheduled events that have been neither popped nor
+    /// cancelled. An entry in the heap whose id is absent here is dead and
+    /// is skipped (at the head) or dropped (by compaction).
+    live: HashSet<EventId>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,8 +75,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
-            len: 0,
+            live: HashSet::new(),
         }
     }
 
@@ -77,7 +90,7 @@ impl<E> EventQueue<E> {
             payload,
         });
         self.next_seq += 1;
-        self.len += 1;
+        self.live.insert(id);
         id
     }
 
@@ -85,49 +98,52 @@ impl<E> EventQueue<E> {
     /// already fired (or was already cancelled) is a no-op and returns
     /// `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        let cancelled = self.live.remove(&id);
+        if cancelled && self.heap.len() >= COMPACT_MIN && self.heap.len() >= 2 * self.live.len() {
+            let live = &self.live;
+            self.heap.retain(|e| live.contains(&e.id));
         }
-        let inserted = self.cancelled.insert(id);
-        if inserted && self.len > 0 {
-            // The entry is still somewhere in the heap; it will be skipped
-            // lazily when popped. `len` tracks live (non-cancelled) events.
-            self.len -= 1;
-        }
-        inserted
+        cancelled
     }
 
     /// Time of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
+        self.skip_dead();
         self.heap.peek().map(|e| e.time)
     }
 
     /// Pops the next live event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skip_cancelled();
+        self.skip_dead();
         let entry = self.heap.pop()?;
-        self.len = self.len.saturating_sub(1);
+        self.live.remove(&entry.id);
         Some((entry.time, entry.payload))
     }
 
     /// Number of live (non-cancelled, not yet fired) events.
     pub fn len(&self) -> usize {
-        self.len
+        self.live.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.live.is_empty()
     }
 
-    fn skip_cancelled(&mut self) {
+    /// Number of entries physically held, including cancelled ones that
+    /// have not been pruned yet. Exposed so tests (and capacity planning)
+    /// can check that cancellation does not leak: `backlog` never exceeds
+    /// `max(2 × len, a small constant)` once compaction kicks in.
+    pub fn backlog(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn skip_dead(&mut self) {
         while let Some(head) = self.heap.peek() {
-            if self.cancelled.remove(&head.id) {
-                self.heap.pop();
-            } else {
+            if self.live.contains(&head.id) {
                 break;
             }
+            self.heap.pop();
         }
     }
 }
@@ -189,5 +205,55 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_no_op() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        // The event already fired: cancelling it neither succeeds nor
+        // corrupts the live count or the backlog.
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.backlog(), 0);
+    }
+
+    #[test]
+    fn cancellation_state_stays_bounded() {
+        // A long-running simulation that keeps scheduling timers and
+        // cancelling most of them (the bounded-delay pattern: one budget
+        // timer per request, almost always cancelled by an earlier grant)
+        // must not accumulate state. Auxiliary tracking is keyed on *live*
+        // events only, and compaction keeps dead heap entries below the
+        // number of live ones (plus the compaction threshold).
+        let mut q = EventQueue::new();
+        let mut far = Vec::new();
+        for round in 0..10_000u64 {
+            // A far-future timer that is immediately cancelled...
+            let timer = q.schedule(t(1e6 + round as f64), round);
+            q.cancel(timer);
+            // ...a second one cancelled after it has already fired (the
+            // stale-cancel path)...
+            let stale = q.schedule(t(round as f64), round);
+            let _ = q.pop();
+            q.cancel(stale);
+            // ...and a handful of genuinely pending events.
+            if round % 100 == 0 {
+                far.push(q.schedule(t(2e6 + round as f64), round));
+            }
+        }
+        assert_eq!(q.len(), far.len());
+        assert!(
+            q.backlog() <= 2 * q.len() + COMPACT_MIN,
+            "dead entries leaked: backlog {} for {} live events",
+            q.backlog(),
+            q.len()
+        );
+        // The surviving events are all still intact.
+        for id in far {
+            assert!(q.cancel(id));
+        }
+        assert!(q.is_empty());
     }
 }

@@ -14,10 +14,28 @@
 //! crowds out a small one — the small application's interference factor can
 //! reach 14× (Fig. 6b) even though the sharing is "fair" at the request
 //! level.
+//!
+//! ## Incremental allocation
+//!
+//! Rates are recomputed *incrementally*: the network maintains, per
+//! constraint, the set of flows currently competing on it, and every
+//! mutation (a flow added, removed, paused, resumed or completed; a
+//! capacity changed) marks only the finite-capacity constraints it
+//! touches. The next rate query re-solves just the affected *components* —
+//! the transitive closure of flows connected through binding-capable
+//! constraints — and leaves every other flow's allocation untouched.
+//! Infinite-capacity constraints never bind, so they never couple
+//! components (the typical infinite interconnect does not glue the whole
+//! machine into one component).
+//!
+//! The invariant behind this (checked by a from-scratch re-solve after
+//! every incremental pass in debug builds): flows in different components
+//! share no finite constraint, so the max-min allocation of a component
+//! depends only on that component's flows and capacities.
 
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Numerical tolerance for byte counts and rates.
 const EPS: f64 = 1e-9;
@@ -88,7 +106,15 @@ pub struct FluidNetwork {
     capacities: Vec<f64>,
     flows: BTreeMap<FlowId, FlowState>,
     next_flow: u64,
-    dirty: bool,
+    /// Per-constraint set of *participating* flows (neither paused nor
+    /// complete) — the adjacency the incremental solver walks.
+    members: Vec<BTreeSet<FlowId>>,
+    /// Constraints whose component must be re-solved before the next rate
+    /// query.
+    dirty_constraints: BTreeSet<usize>,
+    /// Changed flows that cross no finite constraint (their rate is their
+    /// own cap; nobody else is affected).
+    dirty_lone: BTreeSet<FlowId>,
 }
 
 impl FluidNetwork {
@@ -101,7 +127,7 @@ impl FluidNetwork {
     pub fn add_constraint(&mut self, capacity: f64) -> ConstraintId {
         assert!(capacity >= 0.0, "constraint capacity must be non-negative");
         self.capacities.push(capacity);
-        self.dirty = true;
+        self.members.push(BTreeSet::new());
         ConstraintId(self.capacities.len() - 1)
     }
 
@@ -119,9 +145,15 @@ impl FluidNetwork {
     /// cache-full transitions and locality-breakage penalties).
     pub fn set_capacity(&mut self, id: ConstraintId, capacity: f64) {
         assert!(capacity >= 0.0, "constraint capacity must be non-negative");
-        if (self.capacities[id.0] - capacity).abs() > EPS {
+        let old = self.capacities[id.0];
+        let changed = if old.is_finite() && capacity.is_finite() {
+            (old - capacity).abs() > EPS
+        } else {
+            old != capacity
+        };
+        if changed {
             self.capacities[id.0] = capacity;
-            self.dirty = true;
+            self.dirty_constraints.insert(id.0);
         }
     }
 
@@ -143,6 +175,7 @@ impl FluidNetwork {
         }
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
+        let participates = spec.bytes > COMPLETE_BYTES;
         self.flows.insert(
             id,
             FlowState {
@@ -153,14 +186,18 @@ impl FluidNetwork {
                 spec,
             },
         );
-        self.dirty = true;
+        if participates {
+            self.join(id);
+        }
         id
     }
 
     /// Removes a flow (complete or not) and returns its final progress.
     pub fn remove_flow(&mut self, id: FlowId) -> Option<FlowProgress> {
+        if self.participates(id) {
+            self.leave(id);
+        }
         let st = self.flows.remove(&id)?;
-        self.dirty = true;
         Some(FlowProgress {
             remaining: st.remaining,
             transferred: st.transferred,
@@ -172,22 +209,31 @@ impl FluidNetwork {
     /// Pauses a flow: it stops consuming bandwidth but keeps its remaining
     /// volume (used by the interruption strategy).
     pub fn pause_flow(&mut self, id: FlowId) {
-        if let Some(f) = self.flows.get_mut(&id) {
-            if !f.paused {
-                f.paused = true;
-                f.rate = 0.0;
-                self.dirty = true;
-            }
+        let Some(f) = self.flows.get_mut(&id) else {
+            return;
+        };
+        if f.paused {
+            return;
+        }
+        let was_active = f.remaining > COMPLETE_BYTES;
+        f.paused = true;
+        f.rate = 0.0;
+        if was_active {
+            self.leave(id);
         }
     }
 
     /// Resumes a paused flow.
     pub fn resume_flow(&mut self, id: FlowId) {
-        if let Some(f) = self.flows.get_mut(&id) {
-            if f.paused {
-                f.paused = false;
-                self.dirty = true;
-            }
+        let Some(f) = self.flows.get_mut(&id) else {
+            return;
+        };
+        if !f.paused {
+            return;
+        }
+        f.paused = false;
+        if f.remaining > COMPLETE_BYTES {
+            self.join(id);
         }
     }
 
@@ -253,13 +299,19 @@ impl FluidNetwork {
 
     /// Advances every active flow by `dt` at its current rate. Flows never
     /// overshoot: remaining volume is clamped at zero.
+    ///
+    /// Rates are piecewise constant between mutations, so advancing does
+    /// *not* by itself invalidate the allocation — only the flows that
+    /// complete during the step mark their constraints for an incremental
+    /// re-fill.
     pub fn advance(&mut self, dt: SimDuration) {
         self.ensure_rates();
         let secs = dt.as_secs();
         if secs <= 0.0 {
             return;
         }
-        for f in self.flows.values_mut() {
+        let mut completed: Vec<FlowId> = Vec::new();
+        for (id, f) in self.flows.iter_mut() {
             if f.paused || f.rate <= EPS {
                 continue;
             }
@@ -268,10 +320,14 @@ impl FluidNetwork {
             f.transferred += moved;
             if f.remaining <= COMPLETE_BYTES {
                 f.remaining = 0.0;
+                f.rate = 0.0;
+                completed.push(*id);
             }
         }
-        // Completions free capacity for the remaining flows.
-        self.dirty = true;
+        // Completions free capacity for the survivors of their component.
+        for id in completed {
+            self.leave(id);
+        }
     }
 
     /// Flows that are complete but still registered.
@@ -283,48 +339,198 @@ impl FluidNetwork {
             .collect()
     }
 
-    /// Forces a rate recomputation (normally done lazily).
+    /// Forces a full rate recomputation (normally done incrementally).
     pub fn recompute(&mut self) {
-        self.dirty = true;
+        self.dirty_constraints.extend(0..self.capacities.len());
+        for (id, f) in &self.flows {
+            if !f.spec.constraints.is_empty() {
+                continue;
+            }
+            self.dirty_lone.insert(*id);
+        }
         self.ensure_rates();
     }
 
-    fn ensure_rates(&mut self) {
-        if !self.dirty {
-            return;
-        }
-        self.dirty = false;
-        self.compute_rates();
+    /// Whether a flow currently takes part in the allocation.
+    fn participates(&self, id: FlowId) -> bool {
+        self.flows
+            .get(&id)
+            .map(|f| !f.paused && f.remaining > COMPLETE_BYTES)
+            .unwrap_or(false)
     }
 
-    /// Weighted max-min fair allocation via progressive filling.
-    fn compute_rates(&mut self) {
-        let n_constraints = self.capacities.len();
-        let mut cap_left = self.capacities.clone();
+    /// Registers a flow as an allocation participant and marks the affected
+    /// part of the network for re-solving.
+    fn join(&mut self, id: FlowId) {
+        let constraints = self.flows[&id].spec.constraints.clone();
+        for c in &constraints {
+            self.members[c.0].insert(id);
+        }
+        self.mark_dirty(id, &constraints);
+    }
 
-        // Active flows participate; everyone else gets rate 0.
-        let mut unfrozen: Vec<FlowId> = Vec::new();
-        for (id, f) in self.flows.iter_mut() {
-            if f.paused || f.remaining <= COMPLETE_BYTES {
-                f.rate = 0.0;
-            } else {
-                f.rate = 0.0;
-                unfrozen.push(*id);
+    /// Removes a flow from the allocation (pause, completion, removal) and
+    /// marks the affected part of the network for re-solving.
+    fn leave(&mut self, id: FlowId) {
+        let constraints = self.flows[&id].spec.constraints.clone();
+        for c in &constraints {
+            self.members[c.0].remove(&id);
+        }
+        self.mark_dirty(id, &constraints);
+    }
+
+    /// Marks the finite constraints a changed flow crosses; a flow that
+    /// crosses none (infinite-only or constraint-free) affects nobody else
+    /// and is queued for the lone-flow shortcut instead.
+    fn mark_dirty(&mut self, id: FlowId, constraints: &[ConstraintId]) {
+        let mut has_finite = false;
+        for c in constraints {
+            if self.capacities[c.0].is_finite() {
+                has_finite = true;
+                self.dirty_constraints.insert(c.0);
             }
         }
+        if !has_finite {
+            self.dirty_lone.insert(id);
+        }
+    }
 
-        // Progressive filling: raise every unfrozen flow's rate in lockstep
-        // (proportionally to its weight) until either the flow hits its own
-        // cap or one of its constraints saturates; freeze and repeat.
+    /// Re-solves whatever the accumulated mutations touched. Untouched
+    /// components keep their rates verbatim.
+    fn ensure_rates(&mut self) {
+        if self.dirty_constraints.is_empty() && self.dirty_lone.is_empty() {
+            return;
+        }
+        for id in std::mem::take(&mut self.dirty_lone) {
+            self.solve_lone(id);
+        }
+        let seeds = std::mem::take(&mut self.dirty_constraints);
+        let mut visited = vec![false; self.capacities.len()];
+        for seed in seeds {
+            if self.capacities[seed].is_finite() {
+                self.solve_component(seed, &mut visited);
+            } else {
+                // The constraint stopped binding (capacity raised to
+                // infinity): each member's residual component — and members
+                // left without any binding constraint — must be re-solved.
+                for id in self.members[seed].clone() {
+                    let first_finite = self.flows[&id]
+                        .spec
+                        .constraints
+                        .iter()
+                        .find(|c| self.capacities[c.0].is_finite())
+                        .map(|c| c.0);
+                    match first_finite {
+                        Some(c) => self.solve_component(c, &mut visited),
+                        None => self.solve_lone(id),
+                    }
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.assert_consistent();
+    }
+
+    /// A participating flow with no binding-capable constraint runs at its
+    /// own cap (or is starved if it has none — the degenerate
+    /// infinite-on-infinite case).
+    fn solve_lone(&mut self, id: FlowId) {
+        let Some(f) = self.flows.get_mut(&id) else {
+            return;
+        };
+        let active = !f.paused && f.remaining > COMPLETE_BYTES;
+        f.rate = if active && f.spec.rate_cap.is_finite() {
+            f.spec.rate_cap
+        } else {
+            0.0
+        };
+    }
+
+    /// Solves the component reachable from `seed` through finite
+    /// constraints (skipping it if a previous seed already covered it) and
+    /// installs the resulting rates.
+    fn solve_component(&mut self, seed: usize, visited: &mut [bool]) {
+        if visited[seed] {
+            return;
+        }
+        let subset = self.collect_component(seed, visited);
+        if subset.is_empty() {
+            return;
+        }
+        let rates = Self::solve(&self.capacities, &self.flows, &subset);
+        for (id, rate) in subset.iter().zip(rates) {
+            self.flows.get_mut(id).expect("component flow exists").rate = rate;
+        }
+    }
+
+    /// The transitive closure of flows connected to `seed` through
+    /// finite-capacity constraints, in deterministic (id) order. Marks the
+    /// finite constraints it spans as visited.
+    fn collect_component(&self, seed: usize, visited: &mut [bool]) -> Vec<FlowId> {
+        let mut stack = vec![seed];
+        visited[seed] = true;
+        let mut subset: BTreeSet<FlowId> = BTreeSet::new();
+        while let Some(c) = stack.pop() {
+            for id in &self.members[c] {
+                if !subset.insert(*id) {
+                    continue;
+                }
+                for c2 in &self.flows[id].spec.constraints {
+                    if !visited[c2.0] && self.capacities[c2.0].is_finite() {
+                        visited[c2.0] = true;
+                        stack.push(c2.0);
+                    }
+                }
+            }
+        }
+        subset.into_iter().collect()
+    }
+
+    /// Weighted max-min fair allocation of one component via progressive
+    /// filling: raise every unfrozen flow's rate in lockstep
+    /// (proportionally to its weight) until either the flow hits its own
+    /// cap or one of its constraints saturates; freeze and repeat.
+    ///
+    /// `subset` must be *closed*: every finite constraint crossed by a
+    /// subset flow has all of its participating flows in the subset. The
+    /// result then depends only on the subset, which is what makes the
+    /// incremental path equivalent to a from-scratch solve.
+    fn solve(
+        capacities: &[f64],
+        flows: &BTreeMap<FlowId, FlowState>,
+        subset: &[FlowId],
+    ) -> Vec<f64> {
+        let n_constraints = capacities.len();
+        let mut cap_left = capacities.to_vec();
+
+        // Index-based working set: one map lookup per flow up front, then
+        // the hot rounds below touch only vectors (a machine-scale
+        // component holds thousands of flows).
+        let states: Vec<&FlowState> = subset.iter().map(|id| &flows[id]).collect();
+
+        // The constraints the subset actually touches, in index order.
+        let span: Vec<usize> = {
+            let mut span: BTreeSet<usize> = BTreeSet::new();
+            for f in &states {
+                span.extend(f.spec.constraints.iter().map(|c| c.0));
+            }
+            span.into_iter().collect()
+        };
+
+        let mut rate = vec![0.0f64; subset.len()];
+        let mut unfrozen: Vec<usize> = (0..subset.len()).collect();
+        let mut weight_on = vec![0.0f64; n_constraints];
         let mut guard = 0usize;
         let max_iters = unfrozen.len() + n_constraints + 2;
         while !unfrozen.is_empty() && guard <= max_iters {
             guard += 1;
 
             // Weight crossing each constraint.
-            let mut weight_on: Vec<f64> = vec![0.0; n_constraints];
-            for id in &unfrozen {
-                let f = &self.flows[id];
+            for &c in &span {
+                weight_on[c] = 0.0;
+            }
+            for &i in &unfrozen {
+                let f = states[i];
                 for c in &f.spec.constraints {
                     weight_on[c.0] += f.spec.weight;
                 }
@@ -332,16 +538,17 @@ impl FluidNetwork {
 
             // Largest uniform per-weight increment permitted by constraints.
             let mut delta = f64::INFINITY;
-            for (c, &w) in weight_on.iter().enumerate() {
+            for &c in &span {
+                let w = weight_on[c];
                 if w > EPS {
                     delta = delta.min((cap_left[c]).max(0.0) / w);
                 }
             }
             // ... and by per-flow caps.
-            for id in &unfrozen {
-                let f = &self.flows[id];
+            for &i in &unfrozen {
+                let f = states[i];
                 if f.spec.rate_cap.is_finite() {
-                    delta = delta.min((f.spec.rate_cap - f.rate).max(0.0) / f.spec.weight);
+                    delta = delta.min((f.spec.rate_cap - rate[i]).max(0.0) / f.spec.weight);
                 }
             }
 
@@ -353,11 +560,11 @@ impl FluidNetwork {
 
             // Apply the increment.
             if delta > 0.0 {
-                for id in &unfrozen {
-                    let f = self.flows.get_mut(id).expect("unfrozen flow exists");
-                    f.rate += f.spec.weight * delta;
+                for &i in &unfrozen {
+                    rate[i] += states[i].spec.weight * delta;
                 }
-                for (c, &w) in weight_on.iter().enumerate() {
+                for &c in &span {
+                    let w = weight_on[c];
                     if w > EPS {
                         cap_left[c] -= w * delta;
                     }
@@ -365,21 +572,58 @@ impl FluidNetwork {
             }
 
             // Freeze flows that hit their cap or cross a saturated constraint.
-            let saturated: Vec<bool> = cap_left.iter().map(|&c| c <= EPS).collect();
             let before = unfrozen.len();
-            unfrozen.retain(|id| {
-                let f = &self.flows[id];
-                let capped = f.spec.rate_cap.is_finite() && f.rate >= f.spec.rate_cap - EPS;
-                let blocked = f.spec.constraints.iter().any(|c| saturated[c.0]);
+            unfrozen.retain(|&i| {
+                let f = states[i];
+                let capped = f.spec.rate_cap.is_finite() && rate[i] >= f.spec.rate_cap - EPS;
+                let blocked = f.spec.constraints.iter().any(|c| cap_left[c.0] <= EPS);
                 !(capped || blocked)
             });
             if unfrozen.len() == before && delta <= EPS {
                 // No progress possible (all remaining flows starved).
-                for id in &unfrozen {
-                    self.flows.get_mut(id).expect("flow exists").rate = 0.0;
+                for &i in &unfrozen {
+                    rate[i] = 0.0;
                 }
                 break;
             }
+        }
+        rate
+    }
+
+    /// Debug-only invariant: the incrementally maintained allocation must
+    /// agree with a from-scratch solve of every component.
+    #[cfg(debug_assertions)]
+    fn assert_consistent(&self) {
+        let mut expected: BTreeMap<FlowId, f64> = BTreeMap::new();
+        let mut visited = vec![false; self.capacities.len()];
+        for c in 0..self.capacities.len() {
+            if visited[c] || !self.capacities[c].is_finite() {
+                continue;
+            }
+            let subset = self.collect_component(c, &mut visited);
+            if subset.is_empty() {
+                continue;
+            }
+            let rates = Self::solve(&self.capacities, &self.flows, &subset);
+            expected.extend(subset.into_iter().zip(rates));
+        }
+        for (id, f) in &self.flows {
+            let want = if !f.paused && f.remaining > COMPLETE_BYTES {
+                match expected.get(id) {
+                    Some(&r) => r,
+                    // Not in any finite component: the lone-flow shortcut.
+                    None if f.spec.rate_cap.is_finite() => f.spec.rate_cap,
+                    None => 0.0,
+                }
+            } else {
+                0.0
+            };
+            let tolerance = 1e-9 * want.abs().max(1.0);
+            debug_assert!(
+                (f.rate - want).abs() <= tolerance,
+                "incremental allocation diverged for {id:?}: have {}, from-scratch {want}",
+                f.rate
+            );
         }
     }
 }

@@ -5,6 +5,10 @@
 //!
 //! * [`time`] — integer-tick simulated clock ([`SimTime`], [`SimDuration`]).
 //! * [`event`] — a deterministic time-ordered [`EventQueue`].
+//! * [`kernel`] — the [`Kernel`]: one owner for simulated time, coupling an
+//!   [`EventQueue`] with a continuous [`Medium`] (a [`FluidNetwork`], or a
+//!   richer substrate built on one) behind a single
+//!   `schedule`/`cancel`/`advance_to_next` API.
 //! * [`fluid`] — the [`FluidNetwork`] bandwidth-sharing model: transfers are
 //!   *flows* draining bytes through shared capacity *constraints* with
 //!   weighted max-min fairness. This is how cross-application interference
@@ -51,6 +55,7 @@
 
 pub mod event;
 pub mod fluid;
+pub mod kernel;
 pub mod observe;
 pub mod rng;
 pub mod stats;
@@ -58,6 +63,7 @@ pub mod time;
 
 pub use event::{EventId, EventQueue};
 pub use fluid::{ConstraintId, FlowId, FlowProgress, FlowSpec, FluidNetwork};
+pub use kernel::{Kernel, Medium};
 pub use observe::{EventLog, Stamped};
 pub use rng::DetRng;
 pub use stats::{Histogram, Summary, TimeSeries};

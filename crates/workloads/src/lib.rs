@@ -15,6 +15,10 @@
 //!   concurrently running jobs (Fig. 1b).
 //! * [`probability`] — the Section II-B model:
 //!   `P(another is doing I/O) = 1 − Σ_n P(X=n)(1−E[µ])^n`.
+//! * [`machine_mix`] — the [`MachineMix`] generator: N-application
+//!   machine-level mixes (seeded-random sizes, periods, start jitter)
+//!   packaged as runnable `calciom` scenarios — the scale input of the
+//!   `fig13_scale` experiment.
 //!
 //! ## Example
 //!
@@ -34,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod concurrency;
+pub mod machine_mix;
 pub mod probability;
 pub mod synthetic;
 pub mod trace;
 
 pub use concurrency::ConcurrencyDistribution;
+pub use machine_mix::MachineMix;
 pub use probability::{probability_concurrent_io, probability_second_arrives_during_first};
 pub use synthetic::{generate, SyntheticTraceConfig, SIZE_BUCKETS};
 pub use trace::{Job, JobTrace, TraceParseError};

@@ -1,0 +1,168 @@
+//! Golden regression guard for the execution core.
+//!
+//! Every scenario below is recorded through a [`TraceRecorder`] and the
+//! exact text encoding of the resulting trace is hashed (FNV-1a 64). The
+//! expected hashes were captured from the pre-kernel stepping loop, so a
+//! refactor of the execution core (the `simcore::Kernel` re-founding)
+//! passes this suite only if it reproduces every event of every scenario
+//! — timestamps, order and payloads — bit for bit. The trace fully
+//! determines the [`SessionReport`] (the report is a fold of the stream),
+//! so report equality comes for free.
+
+use calciom_stack::calciom::{
+    AccessPattern, AppConfig, AppId, Granularity, PfsConfig, Scenario, Session, Strategy,
+    TraceRecorder,
+};
+use calciom_stack::simcore::SimDuration;
+
+const MB: f64 = 1.0e6;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn trace_hash(scenario: &Scenario) -> u64 {
+    let mut recorder = TraceRecorder::for_scenario(scenario);
+    let report = Session::new(scenario)
+        .unwrap()
+        .execute_with(&mut recorder)
+        .unwrap();
+    let trace = recorder.into_trace();
+    assert_eq!(
+        trace.replay_report(),
+        report,
+        "trace must replay its report"
+    );
+    fnv1a64(trace.to_text().as_bytes())
+}
+
+/// The golden matrix: label, expected hash, scenario.
+fn matrix() -> Vec<(&'static str, u64, Scenario)> {
+    let contended = |strategy: Strategy| {
+        let a = AppConfig::new(AppId(0), "App A", 720, AccessPattern::strided(2.0 * MB, 8));
+        let b = AppConfig::new(AppId(1), "App B", 48, AccessPattern::contiguous(8.0 * MB))
+            .starting_at_secs(2.0);
+        Scenario::builder(PfsConfig::grid5000_rennes())
+            .apps([a, b])
+            .strategy(strategy)
+            .granularity(Granularity::Round)
+            .build()
+            .unwrap()
+    };
+    let file_level = |strategy: Strategy| {
+        let a = AppConfig::new(AppId(0), "big", 512, AccessPattern::contiguous(16.0 * MB))
+            .with_files(4);
+        let b = AppConfig::new(AppId(1), "small", 512, AccessPattern::contiguous(16.0 * MB))
+            .starting_at_secs(4.0);
+        Scenario::builder(PfsConfig::grid5000_rennes())
+            .apps([a, b])
+            .strategy(strategy)
+            .granularity(Granularity::File)
+            .build()
+            .unwrap()
+    };
+    let periodic_cache = {
+        let writer = |id: usize, period: f64| {
+            AppConfig::new(AppId(id), "w", 336, AccessPattern::contiguous(16.0 * MB))
+                .with_periodic_phases(4, SimDuration::from_secs(period))
+        };
+        Scenario::builder(PfsConfig::grid5000_nancy())
+            .apps([writer(0, 10.0), writer(1, 7.0)])
+            .build()
+            .unwrap()
+    };
+    let delay_phases = {
+        let a = AppConfig::new(AppId(0), "A", 336, AccessPattern::contiguous(16.0 * MB))
+            .with_periodic_phases(2, SimDuration::from_secs(12.0));
+        let b = AppConfig::new(AppId(1), "B", 48, AccessPattern::contiguous(8.0 * MB))
+            .starting_at_secs(1.0)
+            .with_periodic_phases(2, SimDuration::from_secs(12.0));
+        Scenario::builder(PfsConfig::grid5000_rennes())
+            .apps([a, b])
+            .strategy(Strategy::Delay {
+                max_wait_secs: 15.0,
+            })
+            .build()
+            .unwrap()
+    };
+    let three_way = {
+        let pattern = AccessPattern::strided(2.0 * MB, 8);
+        Scenario::builder(PfsConfig::surveyor())
+            .app(AppConfig::new(AppId(0), "A", 2048, pattern))
+            .app(AppConfig::new(AppId(1), "B", 1024, pattern).starting_at_secs(1.5))
+            .app(AppConfig::new(AppId(2), "C", 512, pattern).starting_at_secs(3.0))
+            .strategy(Strategy::Dynamic)
+            .build()
+            .unwrap()
+    };
+
+    vec![
+        (
+            "interfere",
+            0x1665_7876_e8d1_a33c,
+            contended(Strategy::Interfere),
+        ),
+        (
+            "fcfs",
+            0xf308_62a6_2519_4c8b,
+            contended(Strategy::FcfsSerialize),
+        ),
+        (
+            "interrupt",
+            0x192b_9a5b_62a7_185c,
+            contended(Strategy::Interrupt),
+        ),
+        (
+            "delay",
+            0xee61_ed94_cc20_ae7f,
+            contended(Strategy::Delay { max_wait_secs: 2.0 }),
+        ),
+        (
+            "dynamic-file",
+            0x057e_5faf_ab8c_e70d,
+            file_level(Strategy::Dynamic),
+        ),
+        (
+            "interrupt-file",
+            0x667a_3bfe_38f3_8e2e,
+            file_level(Strategy::Interrupt),
+        ),
+        ("periodic-cache", 0xa4b7_11e6_cda6_9c63, periodic_cache),
+        ("delay-phases", 0x4d03_6856_bbf6_84dc, delay_phases),
+        ("dynamic-3way", 0xe08b_2f10_eabd_0708, three_way),
+    ]
+}
+
+#[test]
+fn traces_match_the_pre_kernel_goldens() {
+    let mut failures = Vec::new();
+    for (label, expected, scenario) in matrix() {
+        let hash = trace_hash(&scenario);
+        if hash != expected {
+            failures.push(format!(
+                "{label}: expected {expected:#018x}, got {hash:#018x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "trace hashes diverged from the pre-kernel execution core:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn shared_transport_matches_the_goldens_too() {
+    for (label, _, scenario) in matrix() {
+        assert_eq!(
+            scenario.run().unwrap(),
+            scenario.run_shared().unwrap(),
+            "{label}: shared transport diverged"
+        );
+    }
+}

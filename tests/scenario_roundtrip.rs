@@ -209,3 +209,55 @@ fn recorded_traces_replay_and_round_trip_to_the_same_report() {
         assert_eq!(decoded.replay_report(), report);
     }
 }
+
+#[test]
+fn machine_mix_scenarios_obey_the_same_conventions_at_scale() {
+    // The N-application generalization of everything above: a seeded
+    // 48-app machine mix round-trips through the text codec, reproduces
+    // its report bit for bit, and the sharded sweep path (one worker per
+    // strategy, shared baseline cache) matches the sequential runs.
+    use iobench::{run_scenarios_sharded, BaselineCache};
+    use workloads::MachineMix;
+
+    let mix = MachineMix {
+        apps: 48,
+        seed: 99,
+        ..MachineMix::default()
+    };
+    let strategies = [
+        Strategy::Interfere,
+        Strategy::FcfsSerialize,
+        Strategy::Dynamic,
+    ];
+    let scenarios: Vec<Scenario> = strategies.iter().map(|s| mix.scenario(*s)).collect();
+
+    // Codec: 48 applications survive text encoding exactly.
+    for scenario in &scenarios {
+        let decoded = Scenario::from_text(&scenario.to_text()).unwrap();
+        assert_eq!(&decoded, scenario);
+    }
+
+    // Determinism across the sharded parallel path.
+    let sequential: Vec<SessionReport> = scenarios.iter().map(|s| s.run().unwrap()).collect();
+    let cache = BaselineCache::new();
+    let runs = run_scenarios_sharded(&scenarios, strategies.len(), &cache).unwrap();
+    for (run, expected) in runs.iter().zip(&sequential) {
+        assert_eq!(&run.report, expected);
+        assert_eq!(run.alone.len(), 48);
+    }
+    // All three strategies share one mix, so the cache serves the same 48
+    // baselines to every shard: every request lands in a counter, and the
+    // table holds one entry per distinct application.
+    assert_eq!(cache.hits() + cache.misses(), 3 * 48);
+    assert_eq!(cache.len(), 48);
+
+    // Coordination pays machine-wide (the fig13 story in miniature).
+    let alone = &runs[0].alone;
+    let waste = |r: &SessionReport| r.metric(EfficiencyMetric::CpuSecondsWasted, alone);
+    assert!(
+        waste(&sequential[1]) <= waste(&sequential[0]),
+        "fcfs ({}) must not waste more CPU than interfering ({})",
+        waste(&sequential[1]),
+        waste(&sequential[0])
+    );
+}
