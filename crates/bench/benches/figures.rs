@@ -295,6 +295,92 @@ fn bench_kernel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_policy_overhead(c: &mut Criterion) {
+    // The cost of the open arbitration layer: every arbiter decision now
+    // crosses a `Box<dyn ArbitrationPolicy>` instead of a `match` on the
+    // closed enum. Each iteration drives one full request → yield →
+    // release protocol round for 8 applications against the raw
+    // `Arbiter`, isolating per-decision dispatch from the simulation
+    // (compare against `kernel_scaling`'s fcfs/dynamic sessions for the
+    // end-to-end view — the re-founding contract is no regression there).
+    use calciom::arbitration::{PolicyRegistry, PolicySpec};
+    use calciom::{Arbiter, IoInfo};
+
+    let info = |app: usize| IoInfo {
+        app: AppId(app),
+        procs: 256,
+        files_total: 1,
+        rounds_total: 4,
+        bytes_total: 1.0e9,
+        bytes_remaining: 0.5e9,
+        est_alone_total_secs: 10.0,
+        est_alone_remaining_secs: 5.0,
+        pfs_share: 1.0,
+        granularity: Granularity::Round,
+    };
+    let protocol_round = |arb: &mut Arbiter| {
+        for i in 0..8usize {
+            arb.update_info(info(i));
+            arb.request_access(AppId(i));
+        }
+        for _ in 0..8 {
+            if let Some(&a) = arb.active().first() {
+                arb.yield_point(a);
+            }
+            if let Some(&a) = arb.active().first() {
+                arb.release(a);
+            }
+        }
+        black_box(arb.message_count())
+    };
+
+    let mut group = c.benchmark_group("policy_overhead");
+    // Boxed built-ins (the legacy strategies through the trait)…
+    for strategy in [
+        Strategy::FcfsSerialize,
+        Strategy::Interrupt,
+        Strategy::Dynamic,
+    ] {
+        group.bench_function(&format!("arbiter_{}", strategy.label()), |bench| {
+            bench.iter(|| {
+                let mut arb = Arbiter::new(
+                    strategy,
+                    DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+                );
+                protocol_round(&mut arb)
+            })
+        });
+    }
+    // …a registry-built extended policy…
+    group.bench_function("arbiter_rr(10s)", |bench| {
+        let registry = PolicyRegistry::standard();
+        let spec = PolicySpec::with_arg("rr", "10s");
+        bench.iter(|| {
+            let mut arb = Arbiter::with_policy(
+                registry
+                    .build(&spec, &DynamicPolicy::default())
+                    .expect("registered"),
+            );
+            protocol_round(&mut arb)
+        })
+    });
+    // …and the raw cost model alone, as the dispatch-free baseline the
+    // dynamic arbiter adds its trait indirection on top of.
+    group.bench_function("dynamic_decide_baseline", |bench| {
+        let policy = DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted);
+        let requester = info(1);
+        let accessors = vec![info(0)];
+        bench.iter(|| {
+            let mut last = None;
+            for _ in 0..32 {
+                last = Some(policy.decide(black_box(&requester), black_box(&accessors)));
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = kernel;
     // One full machine-scale session per iteration: a small sample keeps
@@ -302,6 +388,13 @@ criterion_group!(
     // growth curve.
     config = Criterion::default().sample_size(5);
     targets = bench_kernel_scaling
+);
+
+criterion_group!(
+    name = policy;
+    // Micro-scale protocol rounds: cheap enough for a larger sample.
+    config = Criterion::default().sample_size(20);
+    targets = bench_policy_overhead
 );
 
 criterion_group!(
@@ -324,4 +417,4 @@ criterion_group!(
         bench_fig11_dynamic,
         bench_fig12_delay
 );
-criterion_main!(figures, kernel);
+criterion_main!(figures, kernel, policy);

@@ -1,0 +1,10 @@
+//! Runs the machine-scale arbitration-policy comparison (8 registry
+//! policies on seeded N-application mixes) through the experiment
+//! registry. Pass `--quick` for the reduced CI sweep (N ≤ 64) and
+//! `--policy <spec>` (repeatable) to restrict the compared policies.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    calciom_bench::cli::figure_main("fig14_policies")
+}

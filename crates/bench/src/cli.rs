@@ -36,26 +36,46 @@ pub fn figure_main(name: &str) -> ExitCode {
 /// the message has a single home.
 pub fn parse_options_or_fail(args: impl Iterator<Item = String>) -> Result<RunOptions, ExitCode> {
     parse_options(args).map_err(|unknown| {
-        eprintln!("unknown flag '{unknown}' (expected --quick, --trace, --timeline)");
+        eprintln!("bad flag '{unknown}' (expected --quick, --trace, --timeline, --policy <spec>)");
         ExitCode::FAILURE
     })
 }
 
-/// Parses the shared flags out of an argument stream. Non-flag tokens are
-/// left for the caller (experiment names); an *unknown* flag is an error —
-/// a typoed `--trcae` must fail loudly, not silently run without tracing.
+/// Parses the shared flags out of an argument stream. [`parse_args`]
+/// with the leftover tokens discarded — for entry points that take no
+/// positional arguments.
 pub fn parse_options(args: impl Iterator<Item = String>) -> Result<RunOptions, String> {
+    parse_args(args).map(|(opts, _)| opts)
+}
+
+/// Parses the shared flags and returns them together with the leftover
+/// non-flag tokens (experiment names / subcommands) — the *single* place
+/// that knows which flags consume a value, so callers never re-derive
+/// it. An *unknown* flag is an error — a typoed `--trcae` must fail
+/// loudly, not silently run without tracing.
+///
+/// `--policy <spec>` is repeatable and takes the next token verbatim
+/// (e.g. `--policy rr(3s) --policy fcfs`); experiments that compare
+/// arbitration policies restrict their sweep to the named specs.
+pub fn parse_args(
+    mut args: impl Iterator<Item = String>,
+) -> Result<(RunOptions, Vec<String>), String> {
     let mut opts = RunOptions::default();
-    for arg in args {
+    let mut names = Vec::new();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--trace" => opts.trace = true,
             "--timeline" => opts.timeline = true,
+            "--policy" => match args.next() {
+                Some(spec) if !spec.starts_with("--") => opts.policies.push(spec),
+                _ => return Err("--policy (missing <spec> argument)".to_string()),
+            },
             other if other.starts_with("--") => return Err(other.to_string()),
-            _ => {}
+            _ => names.push(arg),
         }
     }
-    Ok(opts)
+    Ok((opts, names))
 }
 
 /// Runs the given experiments in order, printing each rendered figure and
@@ -121,29 +141,44 @@ fn verify_trace(name: &str, label: &str, trace: &Trace) -> bool {
 ///
 /// * `all_figures` — run every registered experiment in paper order;
 /// * `all_figures list` — print the registered names and descriptions;
+/// * `all_figures list-policies` — print the arbitration-policy registry;
 /// * `all_figures <name>...` — run the named experiments only;
 /// * `--quick` / `--trace` / `--timeline` (combinable with the above) —
-///   reduced sweeps / recorded+verified traces / printed timelines.
+///   reduced sweeps / recorded+verified traces / printed timelines;
+/// * `--policy <spec>` (repeatable) — restrict policy-comparison
+///   experiments to the named arbitration policies.
 pub fn all_figures_main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_options_or_fail(args.iter().cloned()) {
-        Ok(opts) => opts,
-        Err(code) => return code,
+    let (opts, tokens) = match parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(unknown) => {
+            eprintln!(
+                "bad flag '{unknown}' (expected --quick, --trace, --timeline, --policy <spec>)"
+            );
+            return ExitCode::FAILURE;
+        }
     };
     let registry = Registry::standard();
 
-    if args.iter().any(|a| a == "list") {
+    if tokens.iter().any(|a| a == "list") {
         for experiment in registry.experiments() {
             println!("{:<32} {}", experiment.name(), experiment.description());
         }
         return ExitCode::SUCCESS;
     }
 
-    let names: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    if tokens.iter().any(|a| a == "list-policies") {
+        let policies = calciom::PolicyRegistry::standard();
+        for name in policies.names() {
+            println!(
+                "{:<18} {}",
+                name,
+                policies.description(name).unwrap_or_default()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let names: Vec<&str> = tokens.iter().map(String::as_str).collect();
     if names.is_empty() {
         for name in registry.names() {
             eprintln!("running {name} ...");
@@ -172,6 +207,69 @@ mod tests {
         // A typoed flag fails loudly instead of silently running the full
         // sweep without the requested observation.
         assert_eq!(parse(&["--trcae"]), Err("--trcae".to_string()));
+    }
+
+    #[test]
+    fn policy_flags_collect_their_specs() {
+        let parse = |args: &[&str]| parse_options(args.iter().map(|a| a.to_string()));
+        let opts = parse(&[
+            "fig14_policies",
+            "--policy",
+            "rr(3s)",
+            "--quick",
+            "--policy",
+            "fcfs",
+        ])
+        .unwrap();
+        assert!(opts.quick);
+        assert_eq!(
+            opts.policies,
+            vec!["rr(3s)".to_string(), "fcfs".to_string()]
+        );
+        // The collected texts parse into real specs…
+        let specs = opts.parsed_policies().unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].to_text(), "rr(3s)");
+        // …and a missing argument fails loudly.
+        assert!(parse(&["--policy"]).is_err());
+        assert!(parse(&["--policy", "--quick"]).is_err());
+    }
+
+    #[test]
+    fn parse_args_separates_names_from_policy_specs() {
+        // A `--policy` spec is the flag's argument, never an experiment
+        // name — the one parser owns that rule for every entry point.
+        let (opts, names) = parse_args(
+            [
+                "fig14_policies",
+                "--policy",
+                "rr(3s)",
+                "--quick",
+                "sec2b_probability",
+            ]
+            .iter()
+            .map(|a| a.to_string()),
+        )
+        .unwrap();
+        assert_eq!(names, vec!["fig14_policies", "sec2b_probability"]);
+        assert_eq!(opts.policies, vec!["rr(3s)".to_string()]);
+        assert!(opts.quick);
+    }
+
+    #[test]
+    fn run_named_honours_policy_restriction() {
+        // fig14 restricted to two policies runs quickly through the same
+        // CLI path CI uses.
+        let registry = Registry::standard();
+        let opts = RunOptions::new(true)
+            .with_policy("fcfs")
+            .with_policy("rr(5s)");
+        let code = run_named(&registry, &["fig14_policies"], &opts);
+        assert_eq!(code, ExitCode::SUCCESS);
+        // A malformed spec surfaces as a failing exit code, not a crash.
+        let bad = RunOptions::new(true).with_policy("rr(5s");
+        let code = run_named(&registry, &["fig14_policies"], &bad);
+        assert_eq!(code, ExitCode::FAILURE);
     }
 
     #[test]

@@ -10,11 +10,11 @@
 
 use crate::figures;
 use crate::figures::FigureOutput;
-use calciom::{Error, Timeline, Trace};
+use calciom::{Error, PolicySpec, Timeline, Trace};
 
 /// How an experiment should be run, and which observability artifacts it
 /// should attach to its output.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunOptions {
     /// Run the reduced CI parameter sweep instead of full resolution.
     pub quick: bool,
@@ -23,6 +23,11 @@ pub struct RunOptions {
     pub trace: bool,
     /// Attach derived [`Timeline`]s (`--timeline` on the CLI).
     pub timeline: bool,
+    /// Arbitration-policy spec texts from repeated `--policy <spec>`
+    /// flags. Empty means "the experiment's own policy set"; experiments
+    /// that compare policies (e.g. `fig14_policies`) restrict their sweep
+    /// to these when given.
+    pub policies: Vec<String>,
 }
 
 impl RunOptions {
@@ -44,6 +49,21 @@ impl RunOptions {
     pub fn with_timeline(mut self) -> Self {
         self.timeline = true;
         self
+    }
+
+    /// Adds a policy spec text (the CLI's `--policy` flag).
+    pub fn with_policy(mut self, spec: impl Into<String>) -> Self {
+        self.policies.push(spec.into());
+        self
+    }
+
+    /// Parses the collected `--policy` texts into [`PolicySpec`]s. A
+    /// malformed spec is a typed configuration error.
+    pub fn parsed_policies(&self) -> Result<Vec<PolicySpec>, Error> {
+        self.policies
+            .iter()
+            .map(|text| Ok(PolicySpec::from_text(text)?))
+            .collect()
     }
 }
 
@@ -127,6 +147,7 @@ impl Registry {
         registry.register(Box::new(figures::fig11::Fig11));
         registry.register(Box::new(figures::fig12::Fig12));
         registry.register(Box::new(figures::fig13::Fig13));
+        registry.register(Box::new(figures::fig14::Fig14));
         registry.register(Box::new(figures::ablation::AblationGamma));
         registry.register(Box::new(figures::ablation::AblationSharePolicy));
         registry.register(Box::new(figures::ablation::AblationOverhead));
@@ -190,7 +211,7 @@ mod tests {
     #[test]
     fn standard_registry_has_every_figure_and_ablation() {
         let registry = Registry::standard();
-        assert_eq!(registry.len(), 17);
+        assert_eq!(registry.len(), 18);
         assert!(!registry.is_empty());
         for name in [
             "fig01_workload",
@@ -207,6 +228,7 @@ mod tests {
             "fig11_dynamic",
             "fig12_delay",
             "fig13_scale",
+            "fig14_policies",
             "ablation_gamma",
             "ablation_share_policy",
             "ablation_coordination_overhead",

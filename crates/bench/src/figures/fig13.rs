@@ -185,7 +185,7 @@ mod tests {
             assert_eq!(fig.x_values(), vec![2.0, 8.0, 32.0]);
             for strategy in STRATEGIES {
                 let series = fig
-                    .series(strategy.label())
+                    .series(&strategy.label())
                     .unwrap_or_else(|| panic!("missing series {}", strategy.label()));
                 assert_eq!(series.points.len(), 3);
             }
@@ -222,7 +222,7 @@ mod tests {
         let out = run(false).unwrap();
         let wall = &out.figures[1];
         for strategy in STRATEGIES {
-            let series = wall.series(strategy.label()).unwrap();
+            let series = wall.series(&strategy.label()).unwrap();
             let at = |n: f64| series.y_at(n).unwrap();
             // Completion at N=512 is implied by the point existing.
             let growth = at(512.0) / at(128.0).max(1e-3);

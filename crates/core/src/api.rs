@@ -159,9 +159,13 @@ impl<T: CoordinationTransport, O: SimObserver> Coordinator<T, O> {
     }
 
     /// Advances the coordinator's clock: subsequent observed events are
-    /// stamped with `now`. The clock never goes backwards.
+    /// stamped with `now`, and the shared [`Arbiter`]'s clock is advanced
+    /// too, so time-aware arbitration policies (e.g. round-robin quanta)
+    /// observe the driver's time. The clock never goes backwards.
     pub fn set_now(&mut self, now: SimTime) {
         self.now = self.now.max(now);
+        let now = self.now;
+        self.transport.with(|arb| arb.set_now(now));
     }
 
     /// The coordinator's current clock.
@@ -309,12 +313,19 @@ impl<T: CoordinationTransport, O: SimObserver> Coordinator<T, O> {
     }
 
     /// The bounded-delay budget announced by a
-    /// [`SimEvent::DelayBounded`] answer has expired: force the queued
-    /// request through ([`Arbiter::force_grant`]) and proceed, overlapping
-    /// the current accessor — the [`Strategy::Delay`](crate::Strategy)
-    /// trade-off. Returns whether a pending request was actually forced
-    /// (`false` when the grant had already arrived or nothing was
-    /// pending).
+    /// [`SimEvent::DelayBounded`] answer has expired: ask the arbitration
+    /// policy ([`Arbiter::delay_expired`]) whether to force the queued
+    /// request through and proceed, overlapping the current accessor —
+    /// the [`Strategy::Delay`](crate::Strategy) trade-off. Returns
+    /// whether a pending request was actually forced (`false` when the
+    /// grant had already arrived, nothing was pending, or the policy
+    /// withdrew the promise and kept the request queued — in the last
+    /// case the request *stays* pending and a later
+    /// [`Coordinator::wait`] concludes it normally).
+    ///
+    /// Forcing goes through [`Arbiter::force_grant`], whose contract
+    /// guarantees the queue entry is cleared along with the grant: the
+    /// pending request is concluded and observed exactly once.
     ///
     /// Observed as [`SimEvent::AccessGranted`]: with
     /// [`GrantKind::DelayElapsed`] when the request really had to be
@@ -322,31 +333,36 @@ impl<T: CoordinationTransport, O: SimObserver> Coordinator<T, O> {
     /// its internal delay timer fires — or with [`GrantKind::AfterWait`]
     /// when the arbiter had already handed the slot over within the
     /// budget (an ordinary queue handover the driver just had not
-    /// observed yet). Either way the pending request is concluded and
-    /// observed exactly once.
+    /// observed yet).
     pub fn delay_elapsed(&mut self) -> bool {
+        enum Outcome {
+            AlreadyGranted,
+            Forced,
+            KeptWaiting,
+        }
         let app = self.app;
         if self.blocked.is_none() {
             return false;
         }
-        let forced = self.transport.with(|arb| {
+        let outcome = self.transport.with(|arb| {
             if arb.is_granted(app) {
-                false
+                Outcome::AlreadyGranted
+            } else if arb.delay_expired(app) {
+                Outcome::Forced
             } else {
-                arb.force_grant(app);
-                true
+                Outcome::KeptWaiting
             }
         });
+        let grant = match outcome {
+            // The policy kept the request queued: nothing to observe yet,
+            // the pending-grant invariant still holds.
+            Outcome::KeptWaiting => return false,
+            Outcome::AlreadyGranted => GrantKind::AfterWait,
+            Outcome::Forced => GrantKind::DelayElapsed,
+        };
         self.blocked = None;
-        self.emit(SimEvent::AccessGranted {
-            app,
-            grant: if forced {
-                GrantKind::DelayElapsed
-            } else {
-                GrantKind::AfterWait
-            },
-        });
-        forced
+        self.emit(SimEvent::AccessGranted { app, grant });
+        matches!(grant, GrantKind::DelayElapsed)
     }
 
     /// `Release()` at the end of the I/O phase: gives up the access slot,

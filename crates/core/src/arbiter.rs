@@ -1,4 +1,4 @@
-//! The coordination arbiter.
+//! The coordination arbiter: the arbitration *mechanism engine*.
 //!
 //! The paper leaves open whether decisions are taken "by the applications
 //! themselves or enforced by a system-provided entity"; what matters is the
@@ -8,36 +8,60 @@
 //! holds access to the file system, who is waiting, and who has been
 //! interrupted.
 //!
+//! The arbiter owns only the *mechanisms* — granting, parking, interrupt
+//! flags, resume ordering, message accounting. Every *decision* (admit or
+//! queue a newcomer, preempt an accessor, pick the next grantee, honour a
+//! delay timeout) is delegated to a boxed
+//! [`ArbitrationPolicy`], which
+//! observes the state through a read-only
+//! [`ArbiterView`]. The legacy
+//! [`Strategy`] enum survives as a constructor shim ([`Arbiter::new`])
+//! that installs the corresponding built-in policy.
+//!
 //! The arbiter is purely a state machine over application identifiers and
 //! exchanged [`IoInfo`]; it never touches the simulated file system, which
 //! makes it directly reusable outside the simulation (e.g. behind an actual
 //! MPI transport).
 
+use crate::arbitration::{
+    builtin_policy, ArbiterView, ArbitrationPolicy, GrantTrigger, ParkReason, RequestDecision,
+    TimeoutDecision, YieldDecision,
+};
 use crate::info::IoInfo;
-use crate::policy::{DynDecision, DynamicPolicy};
+use crate::policy::DynamicPolicy;
 use crate::strategy::{AccessOutcome, Strategy, YieldOutcome};
 use pfs::AppId;
-use serde::{Deserialize, Serialize};
+use simcore::time::SimTime;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// Why an application is currently not accessing the file system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-enum ParkedAs {
-    /// Waiting for its first grant of the current phase.
-    Waiting,
-    /// Was accessing, yielded after an interruption request.
-    Interrupted,
+/// Builds the read-only policy view from the engine's fields without
+/// borrowing the policy itself (the policy is called `&mut` while the
+/// view borrows the rest of the state).
+macro_rules! view {
+    ($self:ident) => {
+        ArbiterView {
+            active: &$self.active,
+            parked: &$self.parked,
+            interrupt_requested: &$self.interrupt_requested,
+            info: &$self.info,
+            now: $self.now,
+            messages: $self.messages,
+        }
+    };
 }
 
 /// The global coordination state shared by all applications.
 #[derive(Debug, Clone)]
 pub struct Arbiter {
-    strategy: Strategy,
-    policy: DynamicPolicy,
+    /// The pluggable decision maker.
+    policy: Box<dyn ArbitrationPolicy>,
+    /// The legacy strategy this arbiter was constructed from, when it was
+    /// ([`Arbiter::new`]); `None` for free-form policies.
+    strategy: Option<Strategy>,
     /// Applications currently allowed to access the file system.
     active: BTreeSet<AppId>,
     /// Parked applications in arrival order, with the reason they parked.
-    parked: VecDeque<(AppId, ParkedAs)>,
+    parked: VecDeque<(AppId, ParkReason)>,
     /// Active applications that have been asked to yield at their next
     /// coordination point.
     interrupt_requested: BTreeSet<AppId>,
@@ -45,26 +69,55 @@ pub struct Arbiter {
     info: BTreeMap<AppId, IoInfo>,
     /// Count of coordination messages exchanged (for accounting/ablations).
     messages: u64,
+    /// Simulated clock, advanced by the driver ([`Arbiter::set_now`]) so
+    /// time-aware policies can observe it.
+    now: SimTime,
 }
 
 impl Arbiter {
-    /// Creates an arbiter applying the given strategy. The dynamic policy
-    /// is only consulted when the strategy is [`Strategy::Dynamic`].
+    /// Creates an arbiter applying the given legacy strategy — a
+    /// compatibility shim over [`Arbiter::with_policy`] installing the
+    /// corresponding built-in policy. The dynamic policy configures the
+    /// cost model and is only consulted when the strategy is
+    /// [`Strategy::Dynamic`].
     pub fn new(strategy: Strategy, policy: DynamicPolicy) -> Self {
+        let mut arbiter = Arbiter::with_policy(builtin_policy(strategy, policy));
+        arbiter.strategy = Some(strategy);
+        arbiter
+    }
+
+    /// Creates an arbiter driven by an arbitrary [`ArbitrationPolicy`] —
+    /// the open entry point of the arbitration layer.
+    pub fn with_policy(policy: Box<dyn ArbitrationPolicy>) -> Self {
         Arbiter {
-            strategy,
             policy,
+            strategy: None,
             active: BTreeSet::new(),
             parked: VecDeque::new(),
             interrupt_requested: BTreeSet::new(),
             info: BTreeMap::new(),
             messages: 0,
+            now: SimTime::ZERO,
         }
     }
 
-    /// The strategy in force.
-    pub fn strategy(&self) -> Strategy {
+    /// The legacy strategy in force, when the arbiter was built from one;
+    /// `None` for free-form policies.
+    pub fn strategy(&self) -> Option<Strategy> {
         self.strategy
+    }
+
+    /// Display label of the installed policy (e.g. `fcfs`, `delay(30s)`,
+    /// `rr(10s)`).
+    pub fn policy_label(&self) -> String {
+        self.policy.label()
+    }
+
+    /// Advances the arbiter's clock so time-aware policies (quanta,
+    /// deadlines) can observe simulated time. Monotone: the clock never
+    /// goes backwards. Not a coordination message.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = self.now.max(now);
     }
 
     /// Records (or refreshes) the information an application shared about
@@ -113,75 +166,50 @@ impl Arbiter {
     /// I/O phase (`Inform` followed by `Check`). Returns whether it may
     /// proceed; if not it is queued and [`Arbiter::is_granted`] will become
     /// true once access is granted.
+    ///
+    /// When the file system is completely free (nobody active, nobody
+    /// parked) the engine grants without consulting the policy; every
+    /// contended arrival is a policy decision
+    /// ([`ArbitrationPolicy::on_request`]).
     pub fn request_access(&mut self, app: AppId) -> AccessOutcome {
         self.messages += 1;
         if self.active.contains(&app) {
             return AccessOutcome::Granted;
         }
         if self.active.is_empty() && self.parked.is_empty() {
-            self.active.insert(app);
+            self.grant(app);
             return AccessOutcome::Granted;
         }
-        match self.strategy {
-            Strategy::Interfere => {
-                self.active.insert(app);
+        let decision = self.policy.on_request(app, &view!(self));
+        match decision {
+            RequestDecision::Admit => {
+                self.grant(app);
                 AccessOutcome::Granted
             }
-            Strategy::FcfsSerialize => {
-                self.park(app, ParkedAs::Waiting);
+            RequestDecision::Queue => {
+                self.park(app, ParkReason::Waiting);
                 AccessOutcome::MustWait
             }
-            Strategy::Interrupt => {
+            RequestDecision::QueueWithTimeout { max_wait_secs } => {
+                self.park(app, ParkReason::Waiting);
+                AccessOutcome::MustWaitAtMost(max_wait_secs)
+            }
+            RequestDecision::QueueAndInterrupt => {
                 for a in &self.active {
                     self.interrupt_requested.insert(*a);
                 }
-                self.park(app, ParkedAs::Waiting);
+                self.park(app, ParkReason::Waiting);
                 AccessOutcome::MustWait
-            }
-            Strategy::Delay { max_wait_secs } => {
-                self.park(app, ParkedAs::Waiting);
-                AccessOutcome::MustWaitAtMost(max_wait_secs)
-            }
-            Strategy::Dynamic => {
-                let requester = match self.info.get(&app) {
-                    Some(i) => i.clone(),
-                    None => {
-                        // Without information we fall back to FCFS, the
-                        // conservative choice.
-                        self.park(app, ParkedAs::Waiting);
-                        return AccessOutcome::MustWait;
-                    }
-                };
-                let accessors: Vec<IoInfo> = self
-                    .active
-                    .iter()
-                    .filter_map(|a| self.info.get(a).cloned())
-                    .collect();
-                match self.policy.decide(&requester, &accessors) {
-                    DynDecision::Interfere => {
-                        self.active.insert(app);
-                        AccessOutcome::Granted
-                    }
-                    DynDecision::WaitFcfs => {
-                        self.park(app, ParkedAs::Waiting);
-                        AccessOutcome::MustWait
-                    }
-                    DynDecision::InterruptAccessors => {
-                        for a in &self.active {
-                            self.interrupt_requested.insert(*a);
-                        }
-                        self.park(app, ParkedAs::Waiting);
-                        AccessOutcome::MustWait
-                    }
-                }
             }
         }
     }
 
     /// An active application reached a coordination point between two
     /// atomic accesses (`Release` + `Inform` + `Check` in the ADIO layer).
-    /// If another application has requested an interruption, the caller is
-    /// parked and must stop issuing I/O until re-granted.
+    /// The policy decides ([`ArbitrationPolicy::on_yield`]) whether the
+    /// caller pauses here; a yielded application is parked as
+    /// [`ParkReason::Interrupted`] and must stop issuing I/O until
+    /// re-granted.
     pub fn yield_point(&mut self, app: AppId) -> YieldOutcome {
         self.messages += 1;
         if !self.active.contains(&app) {
@@ -189,64 +217,102 @@ impl Arbiter {
             // grant); nothing to do.
             return YieldOutcome::Continue;
         }
-        if self.interrupt_requested.remove(&app) {
-            self.active.remove(&app);
-            self.park(app, ParkedAs::Interrupted);
-            // The whole point of yielding is to let the waiting newcomer in.
-            self.grant_next(ParkedAs::Waiting);
-            YieldOutcome::YieldNow
-        } else {
-            YieldOutcome::Continue
+        match self.policy.on_yield(app, &view!(self)) {
+            YieldDecision::Continue => YieldOutcome::Continue,
+            YieldDecision::Yield => {
+                self.interrupt_requested.remove(&app);
+                self.active.remove(&app);
+                self.park(app, ParkReason::Interrupted);
+                // The whole point of yielding is to let a parked
+                // application in.
+                self.grant_next(GrantTrigger::Yielded);
+                YieldOutcome::YieldNow
+            }
         }
     }
 
     /// The application finished its I/O phase (`Release` at phase end /
-    /// `Complete`). Frees its slot and grants the next parked application.
+    /// `Complete`). Frees its slot and grants the next parked application
+    /// (chosen by [`ArbitrationPolicy::select_next`]).
     pub fn release(&mut self, app: AppId) {
         self.messages += 1;
         self.active.remove(&app);
         self.interrupt_requested.remove(&app);
         // Also drop it from the parked queue if it had been re-queued.
         self.parked.retain(|(a, _)| *a != app);
-        // Interrupted applications resume before later waiters: the paper's
-        // description is that the interrupted application resumes its own
-        // operation once the interrupter finishes its I/O.
-        self.grant_next(ParkedAs::Interrupted);
+        self.grant_next(GrantTrigger::Released);
     }
 
     /// Forces a parked application to be granted access even though others
     /// are active (used by the bounded-delay strategy when the wait budget
     /// expires).
+    ///
+    /// **Contract with pending delay timeouts**: a force-granted
+    /// application always leaves the parked queue — its pending entry is
+    /// cleared here, so a later release can never hand it a second,
+    /// spurious grant, and [`Arbiter::is_pending`] turns false the moment
+    /// the force lands. Callers driving their own delay timers (see
+    /// [`Coordinator::delay_elapsed`](crate::Coordinator::delay_elapsed))
+    /// rely on exactly this to conclude the pending request once.
     pub fn force_grant(&mut self, app: AppId) {
         if self.active.contains(&app) {
             return;
         }
         self.parked.retain(|(a, _)| *a != app);
-        self.active.insert(app);
+        self.grant(app);
         self.messages += 1;
+        debug_assert!(
+            !self.is_pending(app),
+            "force_grant must clear {app}'s pending entry"
+        );
     }
 
-    fn park(&mut self, app: AppId, reason: ParkedAs) {
+    /// A bounded-delay budget expired for `app`'s queued request: asks the
+    /// policy ([`ArbitrationPolicy::on_delay_expired`]) whether to force
+    /// the grant through. Returns whether the application may now proceed
+    /// (`true` when it was already granted in the meantime or the policy
+    /// forced the grant; `false` when the policy keeps it queued).
+    pub fn delay_expired(&mut self, app: AppId) -> bool {
+        if self.active.contains(&app) {
+            return true;
+        }
+        match self.policy.on_delay_expired(app, &view!(self)) {
+            TimeoutDecision::ForceGrant => {
+                self.force_grant(app);
+                true
+            }
+            TimeoutDecision::KeepWaiting => false,
+        }
+    }
+
+    fn park(&mut self, app: AppId, reason: ParkReason) {
         if !self.parked.iter().any(|(a, _)| *a == app) {
             self.parked.push_back((app, reason));
         }
     }
 
-    /// Grants access to the next parked application if nobody is active,
-    /// preferring applications parked for the given reason: a yield hands
-    /// the slot to a *waiting* newcomer, a release hands it back to an
-    /// *interrupted* application (which resumes before later waiters).
-    fn grant_next(&mut self, prefer: ParkedAs) {
+    /// Inserts `app` into the active set and notifies the policy — every
+    /// grant, however it came about, flows through here.
+    fn grant(&mut self, app: AppId) {
+        self.active.insert(app);
+        self.policy.on_grant(app, &view!(self));
+    }
+
+    /// Grants access to the next parked application if nobody is active.
+    /// The choice is the policy's ([`ArbitrationPolicy::select_next`]);
+    /// an invalid answer (not parked / `None`) falls back to the head of
+    /// the queue so a buggy policy can delay but never deadlock the
+    /// engine.
+    fn grant_next(&mut self, trigger: GrantTrigger) {
         if !self.active.is_empty() || self.parked.is_empty() {
             return;
         }
-        let idx = self
-            .parked
-            .iter()
-            .position(|(_, r)| *r == prefer)
+        let pick = self.policy.select_next(trigger, &view!(self));
+        let idx = pick
+            .and_then(|app| self.parked.iter().position(|(a, _)| *a == app))
             .unwrap_or(0);
         if let Some((app, _)) = self.parked.remove(idx) {
-            self.active.insert(app);
+            self.grant(app);
         }
     }
 }
@@ -254,6 +320,7 @@ impl Arbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arbitration::{RoundRobinQuantum, ShortestRemainingFirst, WeightedPriority};
     use crate::metrics::EfficiencyMetric;
     use mpiio::Granularity;
 
@@ -369,6 +436,75 @@ mod tests {
             "both overlap after the delay expires"
         );
         assert!(arb.parked().is_empty());
+    }
+
+    #[test]
+    fn force_grant_clears_the_pending_entry() {
+        // The documented force-grant ↔ delay-timeout contract: once the
+        // budget expires and the request is forced through, the queue
+        // entry is gone — a later release cannot double-grant, and the
+        // pending-grant invariant reports "granted", not "pending".
+        let mut arb = arbiter(Strategy::Delay { max_wait_secs: 5.0 });
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        assert!(arb.is_pending(AppId(1)));
+        arb.force_grant(AppId(1));
+        assert!(arb.is_granted(AppId(1)));
+        assert!(!arb.is_pending(AppId(1)), "pending entry must be cleared");
+        // The overlapped accessor finishing must not disturb the forced
+        // grantee: it stays granted, nothing else is promoted.
+        arb.release(AppId(0));
+        assert!(arb.is_granted(AppId(1)));
+        assert_eq!(arb.active(), vec![AppId(1)]);
+        assert!(arb.parked().is_empty());
+        // Idempotent on an already-granted application.
+        let messages = arb.message_count();
+        arb.force_grant(AppId(1));
+        assert_eq!(arb.message_count(), messages);
+    }
+
+    #[test]
+    fn delay_expired_consults_the_policy() {
+        // Built-in bounded delay forces the grant through…
+        let mut arb = arbiter(Strategy::Delay { max_wait_secs: 1.0 });
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        assert!(arb.delay_expired(AppId(1)));
+        assert!(arb.is_granted(AppId(1)) && !arb.is_pending(AppId(1)));
+        // …and an already-granted application is a proceed without a
+        // forced grant (no extra message).
+        let messages = arb.message_count();
+        assert!(arb.delay_expired(AppId(1)));
+        assert_eq!(arb.message_count(), messages);
+
+        // A policy that withdraws the promise keeps the request queued.
+        #[derive(Debug, Clone)]
+        struct Renege;
+        impl ArbitrationPolicy for Renege {
+            fn spec(&self) -> crate::arbitration::PolicySpec {
+                crate::arbitration::PolicySpec::new("renege")
+            }
+            fn on_request(&mut self, _app: AppId, _view: &ArbiterView<'_>) -> RequestDecision {
+                RequestDecision::QueueWithTimeout { max_wait_secs: 1.0 }
+            }
+            fn on_delay_expired(
+                &mut self,
+                _app: AppId,
+                _view: &ArbiterView<'_>,
+            ) -> TimeoutDecision {
+                TimeoutDecision::KeepWaiting
+            }
+            fn clone_policy(&self) -> Box<dyn ArbitrationPolicy> {
+                Box::new(self.clone())
+            }
+        }
+        let mut arb = Arbiter::with_policy(Box::new(Renege));
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        assert!(!arb.delay_expired(AppId(1)), "policy kept it waiting");
+        assert!(arb.is_pending(AppId(1)) && !arb.is_granted(AppId(1)));
+        arb.release(AppId(0));
+        assert!(arb.is_granted(AppId(1)), "still granted by the release");
     }
 
     #[test]
@@ -587,5 +723,166 @@ mod tests {
         assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);
         assert_eq!(arb.request_access(AppId(0)), AccessOutcome::Granted);
         assert_eq!(arb.active(), vec![AppId(0)]);
+    }
+
+    // -- Mechanism engine with the extended policies ---------------------
+
+    #[test]
+    fn weighted_priority_preempts_smaller_accessors() {
+        let mut arb = Arbiter::with_policy(Box::new(WeightedPriority));
+        arb.update_info(info(0, 256, 10.0, 10.0));
+        arb.update_info(info(1, 2048, 10.0, 10.0));
+        arb.update_info(info(2, 64, 10.0, 10.0));
+        arb.request_access(AppId(0));
+        // A heavier job arrives: the accessor is asked to yield.
+        assert_eq!(arb.request_access(AppId(1)), AccessOutcome::MustWait);
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::YieldNow);
+        assert!(arb.is_granted(AppId(1)));
+        // A lighter job arrives: no preemption.
+        assert_eq!(arb.request_access(AppId(2)), AccessOutcome::MustWait);
+        assert_eq!(arb.yield_point(AppId(1)), YieldOutcome::Continue);
+        // On release the *heaviest* parked job goes first (0 with 256
+        // cores beats 2 with 64), regardless of park reason.
+        arb.release(AppId(1));
+        assert!(arb.is_granted(AppId(0)));
+        arb.release(AppId(0));
+        assert!(arb.is_granted(AppId(2)));
+        arb.release(AppId(2));
+        assert!(arb.active().is_empty() && arb.parked().is_empty());
+    }
+
+    #[test]
+    fn weighted_priority_ties_break_by_arrival_order() {
+        // Equal weights fall back to FIFO: a later arrival with the same
+        // core count must not jump the queue (the documented
+        // "earliest arrival breaks ties" rule; app ids are deliberately
+        // out of arrival order here).
+        let mut arb = Arbiter::with_policy(Box::new(WeightedPriority));
+        for (order, id) in [7usize, 3, 5].into_iter().enumerate() {
+            arb.update_info(info(id, 128, 10.0, 10.0));
+            let _ = arb.request_access(AppId(id));
+            if order == 0 {
+                assert!(arb.is_granted(AppId(id)));
+            }
+        }
+        arb.release(AppId(7));
+        assert!(arb.is_granted(AppId(3)), "first-queued equal-weight wins");
+        arb.release(AppId(3));
+        assert!(arb.is_granted(AppId(5)));
+    }
+
+    #[test]
+    fn srpf_serves_the_shortest_remaining_phase_first() {
+        let mut arb = Arbiter::with_policy(Box::new(ShortestRemainingFirst));
+        arb.update_info(info(0, 512, 20.0, 18.0));
+        arb.request_access(AppId(0));
+        // A short newcomer (3 s < 18 s remaining) preempts.
+        arb.update_info(info(1, 512, 3.0, 3.0));
+        assert_eq!(arb.request_access(AppId(1)), AccessOutcome::MustWait);
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::YieldNow);
+        assert!(arb.is_granted(AppId(1)));
+        // A medium job queues; on release the queue is served by
+        // remaining time (5 s before 18 s).
+        arb.update_info(info(2, 512, 5.0, 5.0));
+        arb.request_access(AppId(2));
+        arb.release(AppId(1));
+        assert!(arb.is_granted(AppId(2)), "5 s beats the 18 s remainder");
+        arb.release(AppId(2));
+        assert!(arb.is_granted(AppId(0)));
+    }
+
+    #[test]
+    fn round_robin_quantum_time_slices_fifo() {
+        let mut arb = Arbiter::with_policy(Box::new(RoundRobinQuantum::new(5.0)));
+        arb.set_now(SimTime::from_secs(0.0));
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        arb.request_access(AppId(2));
+        // Within the quantum the accessor continues…
+        arb.set_now(SimTime::from_secs(2.0));
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::Continue);
+        // …after it, the accessor yields and the FIFO head goes next.
+        arb.set_now(SimTime::from_secs(5.0));
+        assert_eq!(arb.yield_point(AppId(0)), YieldOutcome::YieldNow);
+        assert!(arb.is_granted(AppId(1)));
+        // The preempted application re-queued at the back: after 1 yields,
+        // 2 (not 0) is served.
+        arb.set_now(SimTime::from_secs(10.0));
+        assert_eq!(arb.yield_point(AppId(1)), YieldOutcome::YieldNow);
+        assert!(arb.is_granted(AppId(2)));
+        // With an empty queue the accessor is never preempted.
+        arb.release(AppId(2));
+        arb.release(AppId(0));
+        arb.release(AppId(1));
+        let last = arb.active();
+        if let Some(&a) = last.first() {
+            arb.set_now(SimTime::from_secs(100.0));
+            assert_eq!(arb.yield_point(a), YieldOutcome::Continue);
+            arb.release(a);
+        }
+        assert!(arb.active().is_empty() && arb.parked().is_empty());
+    }
+
+    #[test]
+    fn custom_policy_select_next_fallback_is_safe() {
+        // A policy returning a non-parked application from select_next
+        // must not deadlock the engine: the head of the queue is granted
+        // instead.
+        #[derive(Debug, Clone)]
+        struct Confused;
+        impl ArbitrationPolicy for Confused {
+            fn spec(&self) -> crate::arbitration::PolicySpec {
+                crate::arbitration::PolicySpec::new("confused")
+            }
+            fn on_request(&mut self, _app: AppId, _view: &ArbiterView<'_>) -> RequestDecision {
+                RequestDecision::Queue
+            }
+            fn select_next(
+                &mut self,
+                _trigger: GrantTrigger,
+                _view: &ArbiterView<'_>,
+            ) -> Option<AppId> {
+                Some(AppId(999))
+            }
+            fn clone_policy(&self) -> Box<dyn ArbitrationPolicy> {
+                Box::new(self.clone())
+            }
+        }
+        let mut arb = Arbiter::with_policy(Box::new(Confused));
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        arb.release(AppId(0));
+        assert!(arb.is_granted(AppId(1)), "fallback grants the queue head");
+    }
+
+    #[test]
+    fn arbiter_clones_policy_state() {
+        let mut arb = Arbiter::with_policy(Box::new(RoundRobinQuantum::new(1.0)));
+        arb.set_now(SimTime::from_secs(0.0));
+        arb.request_access(AppId(0));
+        arb.request_access(AppId(1));
+        let mut copy = arb.clone();
+        arb.set_now(SimTime::from_secs(2.0));
+        copy.set_now(SimTime::from_secs(2.0));
+        assert_eq!(arb.yield_point(AppId(0)), copy.yield_point(AppId(0)));
+        assert_eq!(arb.active(), copy.active());
+        assert_eq!(arb.policy_label(), "rr(1s)");
+        assert_eq!(arb.strategy(), None);
+        assert_eq!(
+            arbiter(Strategy::FcfsSerialize).strategy(),
+            Some(Strategy::FcfsSerialize)
+        );
+    }
+
+    #[test]
+    fn set_now_is_monotone_and_message_free() {
+        let mut arb = arbiter(Strategy::FcfsSerialize);
+        let messages = arb.message_count();
+        arb.set_now(SimTime::from_secs(5.0));
+        arb.set_now(SimTime::from_secs(3.0));
+        assert_eq!(arb.message_count(), messages);
+        // The clock never went backwards: a time-aware policy observing it
+        // at the next decision sees 5 s (asserted indirectly through the
+        // round-robin test above; here we just pin the message count).
     }
 }

@@ -9,6 +9,7 @@
 //! [`ScenarioParseError`] / [`TraceParseError`] / [`InfoError`]. Every
 //! variant is matchable — no caller ever needs to parse an error message.
 
+use crate::arbitration::PolicyError;
 use pfs::AppId;
 use simcore::time::SimDuration;
 
@@ -23,6 +24,9 @@ pub enum ConfigError {
     NoApplications,
     /// Two applications shared the same identifier.
     DuplicateApp(AppId),
+    /// The scenario named an arbitration policy the registry could not
+    /// resolve or instantiate.
+    Policy(PolicyError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -34,6 +38,7 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "a scenario needs at least one application")
             }
             ConfigError::DuplicateApp(app) => write!(f, "duplicate application id {app}"),
+            ConfigError::Policy(e) => write!(f, "arbitration policy: {e}"),
         }
     }
 }
@@ -43,8 +48,15 @@ impl std::error::Error for ConfigError {
         match self {
             ConfigError::Pfs(e) => Some(e),
             ConfigError::App(e) => Some(e),
+            ConfigError::Policy(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<PolicyError> for ConfigError {
+    fn from(e: PolicyError) -> Self {
+        ConfigError::Policy(e)
     }
 }
 
@@ -407,6 +419,12 @@ impl From<pfs::ConfigError> for Error {
 impl From<mpiio::ConfigError> for Error {
     fn from(e: mpiio::ConfigError) -> Self {
         Error::Config(ConfigError::App(e))
+    }
+}
+
+impl From<PolicyError> for Error {
+    fn from(e: PolicyError) -> Self {
+        Error::Config(ConfigError::Policy(e))
     }
 }
 

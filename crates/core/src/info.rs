@@ -49,6 +49,34 @@ pub struct IoInfo {
 }
 
 impl IoInfo {
+    /// The information an application would share at the *start* of an
+    /// I/O phase, derived from its configuration and the target file
+    /// system — the payload a driver embedding
+    /// [`Coordinator::prepare`](crate::Coordinator::prepare) hands over
+    /// before its first `Inform()`. (Mid-phase refreshes subtract the
+    /// bytes already written; see the fields' docs.)
+    pub fn at_phase_start(
+        cfg: &mpiio::AppConfig,
+        pfs: &pfs::PfsConfig,
+        granularity: Granularity,
+    ) -> IoInfo {
+        let plan = cfg.plan();
+        let bytes_total = plan.total_write_bytes();
+        let alone_bw = cfg.alone_bandwidth(pfs).max(1.0);
+        IoInfo {
+            app: cfg.id,
+            procs: cfg.procs,
+            files_total: cfg.files,
+            rounds_total: cfg.collective.rounds_for(&cfg.pattern, cfg.procs),
+            bytes_total,
+            bytes_remaining: bytes_total,
+            est_alone_total_secs: cfg.estimate_alone_seconds(pfs),
+            est_alone_remaining_secs: bytes_total / alone_bw,
+            pfs_share: cfg.pfs_demand_fraction(pfs),
+            granularity,
+        }
+    }
+
     /// Fraction of the phase already completed, in `[0, 1]`.
     pub fn progress(&self) -> f64 {
         if self.bytes_total <= 0.0 {

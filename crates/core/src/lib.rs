@@ -21,6 +21,14 @@
 //! * **Dynamic** — pick whichever of the above minimizes the metric, using
 //!   the exchanged information ([`DynamicPolicy`]).
 //!
+//! The arbitration layer is *open*: all five strategies are built-in
+//! implementations of the [`ArbitrationPolicy`] trait, the
+//! [`Arbiter`] is a pure mechanism engine delegating every decision to
+//! the installed policy, and the [`PolicyRegistry`] resolves policies by
+//! name (`fcfs`, `delay(30s)`, `priority(w=cores)`, `rr(10s)`, …) so
+//! scenarios and sweeps can compare schedules the enum cannot express —
+//! see the [`arbitration`] module.
+//!
 //! The crate couples three layers (all part of this reproduction):
 //! the [`pfs`] parallel-file-system simulator, the [`mpiio`] MPI-IO model
 //! (access patterns, collective buffering, ADIO hook points), and this
@@ -73,6 +81,7 @@
 
 pub mod api;
 pub mod arbiter;
+pub mod arbitration;
 pub mod error;
 pub mod info;
 pub mod metrics;
@@ -86,6 +95,10 @@ pub mod trace;
 
 pub use api::{CoordinationTransport, Coordinator, LocalTransport, SharedTransport};
 pub use arbiter::Arbiter;
+pub use arbitration::{
+    ArbiterView, ArbitrationPolicy, GrantTrigger, ParkReason, PolicyError, PolicyRegistry,
+    PolicySpec, RequestDecision, TimeoutDecision, YieldDecision,
+};
 pub use error::{
     AppRunState, ConfigError, DeadlockApp, Error, InfoError, ScenarioParseError, SessionError,
     TraceParseError,

@@ -348,6 +348,7 @@ struct PhaseAccum {
 #[derive(Debug, Clone)]
 pub struct ReportBuilder {
     strategy: Strategy,
+    policy_label: String,
     seeds: Vec<AppSeed>,
     accums: BTreeMap<AppId, PhaseAccum>,
     results: BTreeMap<AppId, Vec<PhaseResult>>,
@@ -356,17 +357,23 @@ pub struct ReportBuilder {
 }
 
 impl ReportBuilder {
-    /// A builder for the given scenario (strategy and per-app metadata are
-    /// taken from it; everything else comes from the events).
+    /// A builder for the given scenario (strategy, policy label and
+    /// per-app metadata are taken from it; everything else comes from the
+    /// events).
     pub fn new(scenario: &Scenario) -> Self {
-        ReportBuilder::seeded(scenario.strategy, AppSeed::for_scenario(scenario))
+        ReportBuilder::seeded(
+            scenario.strategy,
+            scenario.policy_label(),
+            AppSeed::for_scenario(scenario),
+        )
     }
 
     /// A builder from explicit metadata — the entry point trace replay
     /// uses, where no `Scenario` is at hand.
-    pub fn seeded(strategy: Strategy, seeds: Vec<AppSeed>) -> Self {
+    pub fn seeded(strategy: Strategy, policy_label: String, seeds: Vec<AppSeed>) -> Self {
         ReportBuilder {
             strategy,
+            policy_label,
             seeds,
             accums: BTreeMap::new(),
             results: BTreeMap::new(),
@@ -381,6 +388,7 @@ impl ReportBuilder {
         let mut results = self.results;
         SessionReport {
             strategy: self.strategy,
+            policy_label: self.policy_label,
             apps: self
                 .seeds
                 .into_iter()
@@ -567,7 +575,7 @@ mod tests {
             procs: 8,
             alone_estimate_secs: 2.0,
         }];
-        let mut builder = ReportBuilder::seeded(Strategy::FcfsSerialize, seeds);
+        let mut builder = ReportBuilder::seeded(Strategy::FcfsSerialize, "fcfs".to_string(), seeds);
         let app = AppId(0);
         let tid = TransferId(0);
         builder.on_event(t(1.0), &SimEvent::PhaseStarted { app, phase: 0 });
@@ -634,7 +642,8 @@ mod tests {
             procs: 4,
             alone_estimate_secs: 1.0,
         }];
-        let report = ReportBuilder::seeded(Strategy::Interfere, seeds).finish();
+        let report =
+            ReportBuilder::seeded(Strategy::Interfere, "interfering".to_string(), seeds).finish();
         assert_eq!(report.apps.len(), 1);
         assert!(report.apps[0].phases.is_empty());
         assert_eq!(report.makespan, SimTime::ZERO);

@@ -14,6 +14,7 @@
 //! [`SessionReport`] bit for bit — the property the
 //! top-level round-trip tests assert.
 
+use crate::arbitration::{PolicyRegistry, PolicySpec};
 use crate::error::{ConfigError, Error, ScenarioParseError};
 use crate::metrics::EfficiencyMetric;
 use crate::policy::DynamicPolicy;
@@ -35,8 +36,14 @@ pub struct Scenario {
     pub pfs: PfsConfig,
     /// The applications running concurrently.
     pub apps: Vec<AppConfig>,
-    /// The coordination strategy in force.
+    /// The coordination strategy in force (ignored when
+    /// [`Scenario::arbitration`] names a policy).
     pub strategy: Strategy,
+    /// Free-form arbitration policy, resolved by name through the
+    /// standard [`PolicyRegistry`] at session-build time. `None` (the
+    /// default, and what every legacy scenario decodes to) means "use
+    /// [`Scenario::strategy`]'s built-in policy".
+    pub arbitration: Option<PolicySpec>,
     /// How often applications issue coordination calls (interruption
     /// granularity).
     pub granularity: Granularity,
@@ -59,6 +66,7 @@ impl Scenario {
             pfs,
             apps,
             strategy: Strategy::Interfere,
+            arbitration: None,
             granularity: Granularity::Round,
             policy: DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
             coordination_overhead: SimDuration::from_millis(1.0),
@@ -73,8 +81,49 @@ impl Scenario {
         }
     }
 
+    /// Display label of the arbitration in force: the named policy's
+    /// spec text when [`Scenario::arbitration`] is set, the strategy's
+    /// parameter-carrying label otherwise. This is the string that ends
+    /// up in [`SessionReport::policy_label`](crate::SessionReport),
+    /// figure series and trace headers.
+    pub fn policy_label(&self) -> String {
+        match &self.arbitration {
+            Some(spec) => spec.to_text(),
+            None => self.strategy.label(),
+        }
+    }
+
+    /// Resolves the arbitration in force into a boxed policy: the named
+    /// registry policy when [`Scenario::arbitration`] is set, the legacy
+    /// strategy's built-in otherwise. This is the *single* resolution
+    /// path — [`Session`] construction installs exactly what this
+    /// returns, and [`Scenario::validate`] goes through it too, so a typo
+    /// in a policy name surfaces as a validation error.
+    pub fn build_policy(
+        &self,
+    ) -> Result<Box<dyn crate::arbitration::ArbitrationPolicy>, ConfigError> {
+        match &self.arbitration {
+            None => Ok(crate::arbitration::builtin_policy(
+                self.strategy,
+                self.policy,
+            )),
+            Some(spec) => PolicyRegistry::standard()
+                .build(spec, &self.policy)
+                .map_err(ConfigError::Policy),
+        }
+    }
+
     /// Validates the whole configuration.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        self.validate_workload()?;
+        self.build_policy().map(drop)
+    }
+
+    /// The policy-free half of [`Scenario::validate`]: file system and
+    /// application checks. Session construction uses this plus one
+    /// [`Scenario::build_policy`] call, so the policy is resolved exactly
+    /// once per session.
+    pub(crate) fn validate_workload(&self) -> Result<(), ConfigError> {
         self.pfs.validate()?;
         if self.apps.is_empty() {
             return Err(ConfigError::NoApplications);
@@ -120,6 +169,12 @@ impl Scenario {
         out.push_str(HEADER);
         out.push('\n');
         kv(&mut out, "strategy", strategy_to_text(self.strategy));
+        // Optional key: legacy documents (and every scenario without a
+        // named policy) neither emit nor require it, so their encoding is
+        // byte-identical to the pre-policy-layer format.
+        if let Some(spec) = &self.arbitration {
+            kv(&mut out, "arbitration", spec.to_text());
+        }
         kv(
             &mut out,
             "granularity",
@@ -283,6 +338,10 @@ impl Scenario {
 
         let scenario = Scenario {
             strategy: strategy_from_text(&take(&mut top, "strategy")?)?,
+            arbitration: top
+                .remove("arbitration")
+                .map(|v| PolicySpec::from_text(&v).map_err(|_| invalid("arbitration", &v)))
+                .transpose()?,
             granularity: {
                 let v = take(&mut top, "granularity")?;
                 Granularity::from_label(&v).ok_or_else(|| invalid("granularity", &v))?
@@ -396,6 +455,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the arbitration policy by [`PolicySpec`] — any name the
+    /// standard [`PolicyRegistry`] knows, including the extended policies
+    /// no [`Strategy`] variant expresses (`priority(w=cores)`, `srpf`,
+    /// `rr(10s)`). Overrides [`ScenarioBuilder::strategy`]. The name is
+    /// resolved (and a bad spec rejected) at [`ScenarioBuilder::build`]
+    /// time.
+    pub fn arbitration(mut self, spec: PolicySpec) -> Self {
+        self.scenario.arbitration = Some(spec);
+        self
+    }
+
     /// Sets the coordination granularity.
     pub fn granularity(mut self, granularity: Granularity) -> Self {
         self.scenario.granularity = granularity;
@@ -430,7 +500,7 @@ impl ScenarioBuilder {
 pub(crate) fn strategy_to_text(strategy: Strategy) -> String {
     match strategy {
         Strategy::Delay { max_wait_secs } => format!("delay {max_wait_secs:?}"),
-        other => other.label().to_string(),
+        other => other.label(),
     }
 }
 
@@ -705,6 +775,39 @@ mod tests {
             let back = Scenario::from_text(&scenario.to_text()).unwrap();
             assert_eq!(back, scenario, "name {name:?} must round-trip");
         }
+    }
+
+    #[test]
+    fn named_arbitration_round_trips_and_validates() {
+        let mut scenario = sample();
+        scenario.arbitration = Some(PolicySpec::with_arg("rr", "10s"));
+        scenario.validate().unwrap();
+        assert_eq!(scenario.policy_label(), "rr(10s)");
+        let text = scenario.to_text();
+        assert!(text.contains("arbitration = rr(10s)"));
+        let back = Scenario::from_text(&text).unwrap();
+        assert_eq!(back, scenario);
+
+        // Legacy scenarios emit no arbitration key at all: their encoding
+        // is byte-identical to the pre-policy-layer format and the label
+        // falls back to the strategy's.
+        let legacy = sample();
+        assert!(!legacy.to_text().contains("arbitration"));
+        assert_eq!(legacy.policy_label(), "delay(4s)");
+
+        // An unknown policy name fails *validation*, not session build.
+        let mut bogus = sample();
+        bogus.arbitration = Some(PolicySpec::new("warp"));
+        assert!(matches!(
+            bogus.validate().unwrap_err(),
+            ConfigError::Policy(_)
+        ));
+        // And a malformed spec text fails decoding.
+        let broken = text.replace("arbitration = rr(10s)", "arbitration = rr(10s");
+        assert!(matches!(
+            Scenario::from_text(&broken),
+            Err(ScenarioParseError::InvalidValue { .. })
+        ));
     }
 
     #[test]

@@ -133,8 +133,14 @@ impl AppReport {
 /// The outcome of a session run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionReport {
-    /// Strategy that was in force.
+    /// Strategy that was in force (the scenario's `strategy` field; see
+    /// [`SessionReport::policy_label`] for the authoritative description
+    /// when a named arbitration policy was used instead).
     pub strategy: Strategy,
+    /// Parameter-carrying label of the arbitration in force (e.g.
+    /// `delay(30s)`, `rr(10s)`) — [`Scenario::policy_label`] of the
+    /// originating scenario.
+    pub policy_label: String,
     /// Per-application reports, in the order the applications were given.
     pub apps: Vec<AppReport>,
     /// Number of coordination messages exchanged.
@@ -252,13 +258,11 @@ struct AppRuntime {
     state: RtState,
     requested_start: SimTime,
     started: bool,
-    alone_estimate: f64,
 }
 
 impl AppRuntime {
-    fn new(cfg: AppConfig, pfs_cfg: &PfsConfig) -> Self {
+    fn new(cfg: AppConfig) -> Self {
         let plan = cfg.plan();
-        let alone_estimate = cfg.estimate_alone_seconds(pfs_cfg);
         let requested_start = cfg.start;
         AppRuntime {
             cfg,
@@ -268,7 +272,6 @@ impl AppRuntime {
             state: RtState::Idle,
             requested_start,
             started: false,
-            alone_estimate,
         }
     }
 
@@ -279,23 +282,16 @@ impl AppRuntime {
     }
 
     fn current_io_info(&self, pfs_cfg: &PfsConfig, granularity: Granularity) -> IoInfo {
-        let bytes_total = self.plan.total_write_bytes();
+        // One derivation for every driver: the phase-start payload comes
+        // from `IoInfo::at_phase_start` (the same constructor Coordinator
+        // embeddings use), and only the mid-phase progress fields are
+        // overwritten here.
         let bytes_remaining = self.plan.remaining_write_bytes_from(self.step);
         let alone_bw = self.cfg.alone_bandwidth(pfs_cfg).max(1.0);
         IoInfo {
-            app: self.cfg.id,
-            procs: self.cfg.procs,
-            files_total: self.cfg.files,
-            rounds_total: self
-                .cfg
-                .collective
-                .rounds_for(&self.cfg.pattern, self.cfg.procs),
-            bytes_total,
             bytes_remaining,
-            est_alone_total_secs: self.alone_estimate,
             est_alone_remaining_secs: bytes_remaining / alone_bw,
-            pfs_share: self.cfg.pfs_demand_fraction(pfs_cfg),
-            granularity,
+            ..IoInfo::at_phase_start(&self.cfg, pfs_cfg, granularity)
         }
     }
 }
@@ -345,14 +341,21 @@ impl<T: CoordinationTransport> Session<T> {
     /// type (e.g. [`SharedTransport`](crate::SharedTransport) for sessions
     /// that cross threads).
     pub fn with_transport(scenario: &Scenario) -> Result<Self, Error> {
-        scenario.validate()?;
+        scenario.validate_workload()?;
         let cfg = scenario.clone();
         let pfs = Pfs::new(cfg.pfs.clone())?;
-        let transport = T::new(Arbiter::new(cfg.strategy, cfg.policy));
+        // The one policy resolution of this session: legacy strategies
+        // keep the `Arbiter::new` shim (which records the strategy),
+        // named policies install what `build_policy` resolves.
+        let arbiter = match &cfg.arbitration {
+            None => Arbiter::new(cfg.strategy, cfg.policy),
+            Some(_) => Arbiter::with_policy(cfg.build_policy()?),
+        };
+        let transport = T::new(arbiter);
         let mut kernel = Kernel::new(pfs);
         let mut apps = BTreeMap::new();
         for app_cfg in &cfg.apps {
-            let rt = AppRuntime::new(app_cfg.clone(), &cfg.pfs);
+            let rt = AppRuntime::new(app_cfg.clone());
             kernel.schedule(rt.requested_start, Event::PhaseStart(app_cfg.id));
             apps.insert(app_cfg.id, rt);
         }
@@ -521,11 +524,18 @@ impl<T: CoordinationTransport> Session<T> {
                 if rt.state != RtState::WantAccess || rt.phase != phase {
                     return;
                 }
-                self.transport.with(|arb| {
-                    if !arb.is_granted(app) {
-                        arb.force_grant(app);
-                    }
+                // The timeout decision belongs to the policy: built-in
+                // bounded delay always forces the grant through, but a
+                // policy may keep the request queued instead — then the
+                // application simply continues waiting for an ordinary
+                // grant and no event is emitted.
+                let proceed = self.transport.with(|arb| {
+                    arb.set_now(now);
+                    arb.delay_expired(app)
                 });
+                if !proceed {
+                    return;
+                }
                 em.emit(
                     now,
                     SimEvent::AccessGranted {
@@ -597,6 +607,7 @@ impl<T: CoordinationTransport> Session<T> {
                 // Start of the phase: ask for access (Inform + Check/Wait).
                 em.emit(now, SimEvent::AccessRequested { app });
                 let outcome = self.transport.with(|arb| {
+                    arb.set_now(now);
                     arb.update_info(info);
                     arb.request_access(app)
                 });
@@ -637,6 +648,7 @@ impl<T: CoordinationTransport> Session<T> {
                 // Mid-phase coordination point (Release/Inform between
                 // rounds or files): check whether we must yield.
                 let outcome = self.transport.with(|arb| {
+                    arb.set_now(now);
                     arb.update_info(info);
                     arb.yield_point(app)
                 });
@@ -728,7 +740,10 @@ impl<T: CoordinationTransport> Session<T> {
             (more, next_start)
         };
 
-        self.transport.with(|arb| arb.release(app));
+        self.transport.with(|arb| {
+            arb.set_now(now);
+            arb.release(app);
+        });
         self.notify_granted(now);
 
         let rt = self.apps.get_mut(&app).expect("known app");
@@ -1029,6 +1044,7 @@ mod tests {
         };
         let report = SessionReport {
             strategy: Strategy::Interfere,
+            policy_label: "interfering".into(),
             apps: vec![
                 AppReport {
                     app: AppId(0),
@@ -1119,6 +1135,59 @@ mod tests {
             scenario.run().unwrap_err(),
             Error::Session(SessionError::HorizonExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn named_policies_run_sessions_end_to_end() {
+        use crate::arbitration::PolicySpec;
+        let apps = || [app(0, "A", 336, 16.0, 0.0), app(1, "B", 512, 16.0, 2.0)];
+        // A legacy strategy and its registry twin produce the same report
+        // (only the label provenance differs, and even that matches).
+        let by_strategy = Scenario::builder(rennes())
+            .apps(apps())
+            .strategy(Strategy::FcfsSerialize)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let by_spec = Scenario::builder(rennes())
+            .apps(apps())
+            .arbitration(PolicySpec::new("fcfs"))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(by_spec.policy_label, "fcfs");
+        assert_eq!(by_spec.apps, by_strategy.apps);
+        assert_eq!(
+            by_spec.coordination_messages,
+            by_strategy.coordination_messages
+        );
+
+        // A policy the Strategy enum cannot express runs to completion:
+        // under priority(w=cores), the bigger B preempts A.
+        let report = Scenario::builder(rennes())
+            .apps(apps())
+            .arbitration(PolicySpec::with_arg("priority", "w=cores"))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.policy_label, "priority(w=cores)");
+        assert_eq!(report.apps.len(), 2);
+        assert!(report.apps.iter().all(|a| !a.phases.is_empty()));
+
+        // Round-robin quantum time-slices: both finish, and A (preempted
+        // mid-phase by the quantum) pays waiting time.
+        let rr = Scenario::builder(rennes())
+            .apps(apps())
+            .arbitration(PolicySpec::with_arg("rr", "1s"))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(rr.policy_label, "rr(1s)");
+        assert!(rr.apps.iter().all(|a| !a.phases.is_empty()));
     }
 
     #[test]

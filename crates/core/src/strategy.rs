@@ -9,6 +9,7 @@
 //! amount can beat both FCFS and plain interference when the observed
 //! interference is low.
 
+use crate::arbitration::PolicySpec;
 use serde::{Deserialize, Serialize};
 
 /// The I/O scheduling strategy applied by CALCioM.
@@ -38,14 +39,27 @@ pub enum Strategy {
 }
 
 impl Strategy {
-    /// Short label used in experiment output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Strategy::Interfere => "interfering",
-            Strategy::FcfsSerialize => "fcfs",
-            Strategy::Interrupt => "interrupt",
-            Strategy::Delay { .. } => "delay",
-            Strategy::Dynamic => "calciom-dynamic",
+    /// Label used in experiment output, carrying the strategy's
+    /// parameters: `delay(30s)` and `delay(2s)` are different schedules
+    /// and label differently (they used to collapse to a bare `delay`).
+    /// This is the same string the policy layer uses
+    /// ([`ArbitrationPolicy::label`](crate::arbitration::ArbitrationPolicy::label)
+    /// of the corresponding built-in policy).
+    pub fn label(&self) -> String {
+        self.spec().to_text()
+    }
+
+    /// The [`PolicySpec`] naming this strategy's built-in policy in the
+    /// standard [`PolicyRegistry`](crate::arbitration::PolicyRegistry).
+    pub fn spec(&self) -> PolicySpec {
+        match *self {
+            Strategy::Interfere => PolicySpec::new("interfering"),
+            Strategy::FcfsSerialize => PolicySpec::new("fcfs"),
+            Strategy::Interrupt => PolicySpec::new("interrupt"),
+            Strategy::Delay { max_wait_secs } => {
+                PolicySpec::with_arg("delay", crate::arbitration::secs_to_arg(max_wait_secs))
+            }
+            Strategy::Dynamic => PolicySpec::new("calciom-dynamic"),
         }
     }
 
@@ -92,9 +106,30 @@ mod tests {
             Strategy::Delay { max_wait_secs: 3.0 },
             Strategy::Dynamic,
         ];
-        let labels: std::collections::BTreeSet<&str> =
+        let labels: std::collections::BTreeSet<String> =
             strategies.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), strategies.len());
+    }
+
+    #[test]
+    fn labels_carry_the_delay_bound() {
+        // The historic `label()` collapsed every bound to a bare "delay";
+        // two differently-bounded schedules must label differently.
+        assert_eq!(Strategy::Delay { max_wait_secs: 3.0 }.label(), "delay(3s)");
+        assert_eq!(
+            Strategy::Delay {
+                max_wait_secs: 0.125
+            }
+            .label(),
+            "delay(0.125s)"
+        );
+        assert_ne!(
+            Strategy::Delay { max_wait_secs: 3.0 }.label(),
+            Strategy::Delay { max_wait_secs: 4.0 }.label()
+        );
+        // Parameterless labels stay exactly what figures always printed.
+        assert_eq!(Strategy::Interfere.label(), "interfering");
+        assert_eq!(Strategy::Dynamic.label(), "calciom-dynamic");
     }
 
     #[test]

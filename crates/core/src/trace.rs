@@ -33,6 +33,7 @@
 //! assert_eq!(decoded.replay_report(), report);
 //! ```
 
+use crate::arbitration::PolicySpec;
 use crate::error::TraceParseError;
 use crate::observe::{AppSeed, GrantKind, ReportBuilder, SimEvent, SimObserver};
 use crate::scenario::{self, invalid, parse_num, reject_leftovers, take, Scenario};
@@ -54,6 +55,11 @@ const HEADER: &str = "calciom-trace v1";
 pub struct Trace {
     /// Strategy that was in force.
     pub strategy: Strategy,
+    /// The named arbitration policy in force, when the session ran one
+    /// ([`Scenario::arbitration`]); `None` for legacy strategy runs —
+    /// whose text encoding is then byte-identical to the
+    /// pre-policy-layer format (the `kernel_golden` hashes pin this).
+    pub policy: Option<PolicySpec>,
     /// Per-application metadata, in scenario order.
     pub apps: Vec<AppSeed>,
     /// The events, in emission order.
@@ -86,7 +92,11 @@ impl Trace {
     /// simulation's own report is folded from the same stream, so this
     /// reproduces it bit for bit.
     pub fn replay_report(&self) -> SessionReport {
-        let mut builder = ReportBuilder::seeded(self.strategy, self.apps.clone());
+        let label = match &self.policy {
+            Some(spec) => spec.to_text(),
+            None => self.strategy.label(),
+        };
+        let mut builder = ReportBuilder::seeded(self.strategy, label, self.apps.clone());
         self.replay_into(&mut builder);
         builder.finish()
     }
@@ -107,6 +117,11 @@ impl Trace {
             "strategy = {}",
             scenario::strategy_to_text(self.strategy)
         );
+        // Optional key: absent for legacy strategy runs, keeping their
+        // encoding byte-identical to the pre-policy-layer format.
+        if let Some(spec) = &self.policy {
+            let _ = writeln!(out, "policy = {}", spec.to_text());
+        }
         for app in &self.apps {
             out.push_str("\n[app]\n");
             let _ = writeln!(out, "id = {}", app.app.0);
@@ -228,6 +243,10 @@ impl Trace {
             let v = take(&mut top, "strategy")?;
             scenario::strategy_from_text(&v).map_err(|_| invalid("strategy", &v))?
         };
+        let policy = top
+            .remove("policy")
+            .map(|v| PolicySpec::from_text(&v).map_err(|_| invalid("policy", &v)))
+            .transpose()?;
         reject_leftovers(top)?;
         let apps = apps
             .into_iter()
@@ -247,6 +266,7 @@ impl Trace {
             .collect::<Result<Vec<_>, TraceParseError>>()?;
         Ok(Trace {
             strategy,
+            policy,
             apps,
             events,
         })
@@ -355,6 +375,7 @@ impl scenario::CodecError for TraceParseError {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecorder {
     strategy: Strategy,
+    policy: Option<PolicySpec>,
     apps: Vec<AppSeed>,
     log: EventLog<SimEvent>,
 }
@@ -364,6 +385,7 @@ impl TraceRecorder {
     pub fn for_scenario(scenario: &Scenario) -> Self {
         TraceRecorder {
             strategy: scenario.strategy,
+            policy: scenario.arbitration.clone(),
             apps: AppSeed::for_scenario(scenario),
             log: EventLog::new(),
         }
@@ -383,6 +405,7 @@ impl TraceRecorder {
     pub fn into_trace(self) -> Trace {
         Trace {
             strategy: self.strategy,
+            policy: self.policy,
             apps: self.apps,
             events: self.log.into_events(),
         }
@@ -466,6 +489,34 @@ mod tests {
         assert_eq!(decoded.to_text(), text);
         // …and the decoded trace still replays the exact report.
         assert_eq!(decoded.replay_report(), report);
+    }
+
+    #[test]
+    fn policy_runs_record_their_spec_and_round_trip() {
+        // A named-policy session's trace carries the spec, survives the
+        // codec, and replays to the exact report — while a legacy run's
+        // trace has no `policy` line at all (golden-hash compatibility).
+        let mut s = scenario(Strategy::Interfere);
+        s.arbitration = Some(PolicySpec::with_arg("rr", "1s"));
+        let (report, trace) = record(&s);
+        assert_eq!(trace.policy, s.arbitration);
+        let text = trace.to_text();
+        assert!(text.contains("policy = rr(1s)"));
+        let decoded = Trace::from_text(&text).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.replay_report(), report);
+        assert_eq!(report.policy_label, "rr(1s)");
+
+        let (_, legacy) = record(&scenario(Strategy::FcfsSerialize));
+        assert_eq!(legacy.policy, None);
+        assert!(!legacy.to_text().contains("policy ="));
+
+        // A malformed policy line is rejected.
+        let broken = text.replace("policy = rr(1s)", "policy = rr(1s");
+        assert!(matches!(
+            Trace::from_text(&broken),
+            Err(TraceParseError::InvalidValue { .. })
+        ));
     }
 
     #[test]

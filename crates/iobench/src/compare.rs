@@ -9,8 +9,8 @@
 use crate::baseline::alone_time_cached;
 use crate::parallel::run_scenarios;
 use calciom::{
-    AppObservation, DynamicPolicy, EfficiencyMetric, Error, Granularity, Scenario, SessionReport,
-    Strategy,
+    AppObservation, DynamicPolicy, EfficiencyMetric, Error, Granularity, PolicySpec, Scenario,
+    SessionReport, Strategy,
 };
 use mpiio::AppConfig;
 use pfs::{AppId, PfsConfig};
@@ -112,6 +112,104 @@ pub fn compare_strategies(
     Ok(StrategyComparison { alone, runs })
 }
 
+/// Result of running one scenario under one named arbitration policy.
+#[derive(Debug, Clone)]
+pub struct PolicyRun {
+    /// The policy spec that was in force.
+    pub spec: PolicySpec,
+    /// The full session report (its
+    /// [`policy_label`](SessionReport::policy_label) is the spec's text).
+    pub report: SessionReport,
+}
+
+impl PolicyRun {
+    /// Observed first-phase I/O time of the given application.
+    pub fn io_time(&self, app: AppId) -> Option<f64> {
+        self.report.app(app).map(|a| a.first_phase().io_time())
+    }
+}
+
+/// A full policy comparison: stand-alone baselines plus one run per
+/// [`PolicySpec`] — the policy-layer generalization of
+/// [`StrategyComparison`], able to sweep schedules the [`Strategy`] enum
+/// cannot express (`priority(w=cores)`, `srpf`, `rr(10s)`, …).
+#[derive(Debug, Clone)]
+pub struct PolicyComparison {
+    /// Stand-alone I/O time per application.
+    pub alone: BTreeMap<AppId, f64>,
+    /// One run per spec, in the order requested.
+    pub runs: Vec<PolicyRun>,
+}
+
+impl PolicyComparison {
+    /// The run for a given spec. Specs compare structurally, so `rr(5s)`
+    /// and `rr(10s)` are distinct runs.
+    pub fn run(&self, spec: &PolicySpec) -> Option<&PolicyRun> {
+        self.runs.iter().find(|r| &r.spec == spec)
+    }
+
+    /// The run whose spec text equals `label` (e.g. `"delay(30s)"`).
+    pub fn run_labelled(&self, label: &str) -> Option<&PolicyRun> {
+        self.runs.iter().find(|r| r.spec.to_text() == label)
+    }
+
+    /// Interference factor of `app` under `spec`.
+    pub fn factor(&self, spec: &PolicySpec, app: AppId) -> Option<f64> {
+        let run = self.run(spec)?;
+        let io = run.io_time(app)?;
+        let alone = self.alone.get(&app)?;
+        Some(calciom::interference_factor(io, *alone))
+    }
+
+    /// Machine-wide metric value under `spec`.
+    pub fn metric(&self, spec: &PolicySpec, metric: EfficiencyMetric) -> Option<f64> {
+        let run = self.run(spec)?;
+        Some(run.report.metric(metric, &self.alone))
+    }
+
+    /// Observations (procs, observed, alone) for `spec`, e.g. to feed
+    /// [`calciom::cpu_seconds_wasted_per_core`].
+    pub fn observations(&self, spec: &PolicySpec) -> Option<Vec<AppObservation>> {
+        let run = self.run(spec)?;
+        Some(run.report.observations(&self.alone))
+    }
+}
+
+/// Runs the scenario once per policy spec — concurrently, one
+/// `Session<SharedTransport>` per worker thread — and collects the
+/// comparison. Every spec is resolved through the standard
+/// [`calciom::PolicyRegistry`]; an unknown name or bad argument surfaces
+/// as a typed configuration error before any simulation starts.
+pub fn compare_policies(
+    pfs: &PfsConfig,
+    apps: &[AppConfig],
+    specs: &[PolicySpec],
+    granularity: Granularity,
+    policy: DynamicPolicy,
+) -> Result<PolicyComparison, Error> {
+    let alone = alone_times(pfs, apps)?;
+    let scenarios = specs
+        .iter()
+        .map(|spec| {
+            Ok(Scenario::builder(pfs.clone())
+                .apps(apps.to_vec())
+                .arbitration(spec.clone())
+                .granularity(granularity)
+                .policy(policy)
+                .build()?)
+        })
+        .collect::<Result<Vec<Scenario>, Error>>()?;
+    let runs = specs
+        .iter()
+        .zip(run_scenarios(&scenarios, 0)?)
+        .map(|(spec, report)| PolicyRun {
+            spec: spec.clone(),
+            report,
+        })
+        .collect();
+    Ok(PolicyComparison { alone, runs })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +309,52 @@ mod tests {
         // A for longer than the short one.
         let io = |s: Strategy| cmp.run(s).unwrap().io_time(b).unwrap();
         assert!(io(long) >= io(short));
+    }
+
+    #[test]
+    fn policy_comparison_mixes_legacy_and_extended_policies() {
+        // The policy-keyed sweep runs built-in and enum-inexpressible
+        // policies side by side on one scenario, one session per spec.
+        let (pfs, apps) = scenario();
+        let specs = [
+            PolicySpec::new("interfering"),
+            PolicySpec::new("fcfs"),
+            PolicySpec::with_arg("priority", "w=cores"),
+            PolicySpec::new("srpf"),
+            PolicySpec::with_arg("rr", "2s"),
+        ];
+        let cmp = compare_policies(
+            &pfs,
+            &apps,
+            &specs,
+            Granularity::Round,
+            DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+        )
+        .unwrap();
+        assert_eq!(cmp.runs.len(), specs.len());
+        for spec in &specs {
+            let run = cmp.run(spec).unwrap();
+            assert_eq!(run.report.policy_label, spec.to_text());
+            assert_eq!(cmp.run_labelled(&spec.to_text()).unwrap().spec, *spec);
+            assert!(cmp.factor(spec, AppId(0)).unwrap() >= 1.0);
+            assert!(cmp.metric(spec, EfficiencyMetric::TotalIoTime).unwrap() > 0.0);
+            assert_eq!(cmp.observations(spec).unwrap().len(), 2);
+        }
+        // Differently-parameterized specs are distinct runs.
+        assert!(cmp.run(&PolicySpec::with_arg("rr", "9s")).is_none());
+        // An unknown policy is a typed configuration error.
+        let err = compare_policies(
+            &pfs,
+            &apps,
+            &[PolicySpec::new("warp")],
+            Granularity::Round,
+            DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config(calciom::ConfigError::Policy(_))
+        ));
     }
 
     #[test]

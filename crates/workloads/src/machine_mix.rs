@@ -31,7 +31,7 @@
 
 use crate::synthetic::SIZE_BUCKETS;
 use crate::trace::{Job, JobTrace};
-use calciom::{Scenario, Strategy};
+use calciom::{PolicySpec, Scenario, Strategy};
 use mpiio::{AccessPattern, AppConfig};
 use pfs::{AppId, PfsConfig};
 use rand::Rng;
@@ -156,6 +156,24 @@ impl MachineMix {
     /// strategy. The horizon is sized from the analytic stand-alone
     /// estimates so even a fully serialized N-application schedule fits.
     pub fn scenario(&self, strategy: Strategy) -> Scenario {
+        let mut scenario = self.base_scenario();
+        scenario.strategy = strategy;
+        scenario
+    }
+
+    /// Packages the mix as a runnable [`Scenario`] under a *named*
+    /// arbitration policy ([`PolicySpec`]) — the machine-scale testbed
+    /// for schedules the [`Strategy`] enum cannot express (the
+    /// `fig14_policies` experiment feeds these). The applications and
+    /// horizon are identical to [`MachineMix::scenario`]'s, so a policy
+    /// comparison varies nothing but the arbitration.
+    pub fn scenario_with_policy(&self, spec: PolicySpec) -> Scenario {
+        let mut scenario = self.base_scenario();
+        scenario.arbitration = Some(spec);
+        scenario
+    }
+
+    fn base_scenario(&self) -> Scenario {
         let apps = self.applications();
         let total_alone: f64 = apps
             .iter()
@@ -167,7 +185,6 @@ impl MachineMix {
             .fold(0.0, f64::max);
         let horizon = self.start_window_secs + longest_period + total_alone * 4.0 + 3600.0;
         let mut scenario = Scenario::new(self.pfs.clone(), apps);
-        scenario.strategy = strategy;
         scenario.horizon = SimDuration::from_secs(horizon);
         scenario
     }
@@ -263,6 +280,23 @@ mod tests {
             r.metric(calciom::EfficiencyMetric::CpuSecondsWasted, &alone)
         };
         assert!(waste(&fcfs).is_finite() && waste(&interfering).is_finite());
+    }
+
+    #[test]
+    fn policy_scenarios_share_the_applications_and_run() {
+        let mix = mix(8, 5);
+        let by_strategy = mix.scenario(Strategy::FcfsSerialize);
+        let by_policy = mix.scenario_with_policy(PolicySpec::with_arg("rr", "5s"));
+        assert_eq!(
+            by_strategy.apps, by_policy.apps,
+            "only the arbitration may differ"
+        );
+        assert_eq!(by_strategy.horizon, by_policy.horizon);
+        assert_eq!(by_policy.policy_label(), "rr(5s)");
+        let report = by_policy.run().unwrap();
+        assert_eq!(report.apps.len(), 8);
+        assert_eq!(report.policy_label, "rr(5s)");
+        assert!(report.apps.iter().all(|a| !a.phases.is_empty()));
     }
 
     #[test]

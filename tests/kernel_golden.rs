@@ -157,6 +157,28 @@ fn traces_match_the_pre_kernel_goldens() {
 }
 
 #[test]
+fn registry_built_policies_match_the_goldens_too() {
+    // The compatibility contract of the open arbitration layer: running a
+    // golden scenario through `arbitration = <spec>` (the policy registry
+    // path) instead of the legacy `strategy` field produces the exact
+    // same schedule — identical per-app reports, message counts and
+    // makespans, and even the same policy label.
+    for (label, _, scenario) in matrix() {
+        let legacy = scenario.run().unwrap();
+        let mut by_spec = scenario.clone();
+        by_spec.arbitration = Some(scenario.strategy.spec());
+        let spec_run = by_spec.run().unwrap();
+        assert_eq!(spec_run.apps, legacy.apps, "{label}: apps diverged");
+        assert_eq!(
+            spec_run.coordination_messages, legacy.coordination_messages,
+            "{label}: message accounting diverged"
+        );
+        assert_eq!(spec_run.makespan, legacy.makespan, "{label}");
+        assert_eq!(spec_run.policy_label, legacy.policy_label, "{label}");
+    }
+}
+
+#[test]
 fn shared_transport_matches_the_goldens_too() {
     for (label, _, scenario) in matrix() {
         assert_eq!(

@@ -217,3 +217,83 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    // Every case simulates a whole machine mix under *every* registered
+    // policy, so a small case count still covers hundreds of sessions.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Starvation freedom of the arbitration layer: on any random
+    /// 3–8-application machine mix, every policy the standard registry
+    /// knows drives every session to completion before the horizon — no
+    /// deadlock, no starved application, and (the pending-grant invariant
+    /// at end of run) a drained parked set, observable as every
+    /// application finishing all of its phases.
+    #[test]
+    fn every_registered_policy_is_starvation_free(
+        napps in 3usize..9,
+        seed in 0u64..10_000,
+    ) {
+        use workloads::MachineMix;
+
+        let mix = MachineMix {
+            apps: napps,
+            seed,
+            max_procs: 512,
+            bytes_per_proc: (0.5 * MB, 2.0 * MB),
+            start_window_secs: 10.0,
+            ..MachineMix::default()
+        };
+        let registry = calciom::PolicyRegistry::standard();
+        for spec in registry.canonical_specs() {
+            let scenario = mix.scenario_with_policy(spec.clone());
+            let report = scenario.run().unwrap_or_else(|e| {
+                panic!("{spec}: mix(napps={napps}, seed={seed}) failed: {e}")
+            });
+            prop_assert_eq!(report.apps.len(), napps);
+            for (app_cfg, app_report) in scenario.apps.iter().zip(&report.apps) {
+                prop_assert!(
+                    app_report.phases.len() == app_cfg.phases as usize,
+                    "{}: app {} finished {} of {} phases",
+                    spec.to_text(),
+                    app_cfg.id,
+                    app_report.phases.len(),
+                    app_cfg.phases
+                );
+            }
+            prop_assert!(
+                report.makespan.as_secs() <= scenario.horizon.as_secs(),
+                "{}: makespan beyond the horizon", spec.to_text()
+            );
+            prop_assert_eq!(report.policy_label.clone(), spec.to_text());
+        }
+    }
+
+    /// The policy name/argument codec round-trips for every registered
+    /// policy, including randomly parameterized time arguments: text →
+    /// spec → policy → spec → text is the identity.
+    #[test]
+    fn policy_registry_codec_round_trips(
+        secs in 0.125f64..600.0,
+    ) {
+        use calciom::{DynamicPolicy, PolicySpec};
+
+        let registry = calciom::PolicyRegistry::standard();
+        let dynamic = DynamicPolicy::default();
+        let mut specs = registry.canonical_specs();
+        // Randomly parameterized time arguments (shortest-float repr).
+        specs.push(PolicySpec::with_arg("delay", format!("{secs}s")));
+        specs.push(PolicySpec::with_arg("rr", format!("{secs}s")));
+        for spec in specs {
+            let text = spec.to_text();
+            let parsed = PolicySpec::from_text(&text)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            prop_assert_eq!(&parsed, &spec);
+            let policy = registry
+                .build(&parsed, &dynamic)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            prop_assert_eq!(policy.spec().to_text(), text.clone());
+            prop_assert_eq!(policy.label(), text);
+        }
+    }
+}
