@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate the N=2000 virtual-time medium wall-clock against the committed baseline.
+
+Usage: check_scale_regression.py BENCH_scale.json ci/scale_baseline_n2000.json
+
+Reads the `fair_fast` section of the freshly measured BENCH_scale.json
+(produced by `fig13_scale --quick`), picks the N=2000 point of every
+coordinated strategy, and fails (exit 1) if any strategy's wall-clock
+regressed more than the allowed fraction over the committed baseline.
+Improvements and new strategies never fail the gate; a strategy present in
+the baseline but missing from the measurement does.
+
+The tolerance is deliberately generous (25% + a 5 ms absolute floor) so the
+gate catches algorithmic regressions — an accidental O(N) rate recompute,
+a lost incremental update — rather than runner noise.
+"""
+
+import json
+import sys
+
+ALLOWED_REGRESSION = 0.25
+ABS_FLOOR_MS = 5.0
+
+
+def n2000_walls(doc: dict) -> dict:
+    fair = doc.get("fair_fast", doc)  # baseline file stores the section bare
+    ns = fair["n"]
+    if 2000 not in ns:
+        sys.exit("no N=2000 point in fair_fast section")
+    i = ns.index(2000)
+    return {label: walls[i] for label, walls in fair["wall_ms"].items()}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        measured = n2000_walls(json.load(f))
+    with open(sys.argv[2]) as f:
+        baseline = n2000_walls(json.load(f))
+
+    failures = []
+    for label, base_ms in sorted(baseline.items()):
+        got = measured.get(label)
+        if got is None:
+            failures.append(f"{label}: present in baseline but not measured")
+            continue
+        limit = base_ms * (1.0 + ALLOWED_REGRESSION) + ABS_FLOOR_MS
+        verdict = "FAIL" if got > limit else "ok"
+        print(
+            f"{verdict:4} {label}: {got:.1f} ms "
+            f"(baseline {base_ms:.1f} ms, limit {limit:.1f} ms)"
+        )
+        if got > limit:
+            failures.append(
+                f"{label}: {got:.1f} ms exceeds {limit:.1f} ms "
+                f"({ALLOWED_REGRESSION:.0%} over baseline {base_ms:.1f} ms)"
+            )
+    if failures:
+        print("\nN=2000 fair-fast wall-clock regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("N=2000 fair-fast wall-clock within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,15 +24,15 @@
 //! MPI transport).
 
 use crate::arbitration::{
-    builtin_policy, ArbiterView, ArbitrationPolicy, GrantTrigger, ParkReason, RequestDecision,
-    TimeoutDecision, YieldDecision,
+    builtin_policy, ArbiterView, ArbitrationPolicy, GrantTrigger, ParkReason, ParkedQueue,
+    RequestDecision, TimeoutDecision, YieldDecision,
 };
 use crate::info::IoInfo;
 use crate::policy::DynamicPolicy;
 use crate::strategy::{AccessOutcome, Strategy, YieldOutcome};
 use pfs::AppId;
 use simcore::time::SimTime;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Builds the read-only policy view from the engine's fields without
 /// borrowing the policy itself (the policy is called `&mut` while the
@@ -61,7 +61,7 @@ pub struct Arbiter {
     /// Applications currently allowed to access the file system.
     active: BTreeSet<AppId>,
     /// Parked applications in arrival order, with the reason they parked.
-    parked: VecDeque<(AppId, ParkReason)>,
+    parked: ParkedQueue,
     /// Active applications that have been asked to yield at their next
     /// coordination point.
     interrupt_requested: BTreeSet<AppId>,
@@ -93,7 +93,7 @@ impl Arbiter {
             policy,
             strategy: None,
             active: BTreeSet::new(),
-            parked: VecDeque::new(),
+            parked: ParkedQueue::default(),
             interrupt_requested: BTreeSet::new(),
             info: BTreeMap::new(),
             messages: 0,
@@ -137,10 +137,15 @@ impl Arbiter {
         self.active.iter().copied().collect()
     }
 
+    /// Number of applications currently granted access.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
     /// Applications currently parked (waiting or interrupted), in queue
     /// order.
     pub fn parked(&self) -> Vec<AppId> {
-        self.parked.iter().map(|(a, _)| *a).collect()
+        self.parked.iter().map(|(a, _)| a).collect()
     }
 
     /// Whether the given application currently holds access.
@@ -154,7 +159,7 @@ impl Arbiter {
     /// of the API: an application that asked for access and was refused is
     /// always either granted or pending — never forgotten.
     pub fn is_pending(&self, app: AppId) -> bool {
-        self.parked.iter().any(|(a, _)| *a == app)
+        self.parked.contains(app)
     }
 
     /// Number of coordination messages exchanged so far.
@@ -239,7 +244,7 @@ impl Arbiter {
         self.active.remove(&app);
         self.interrupt_requested.remove(&app);
         // Also drop it from the parked queue if it had been re-queued.
-        self.parked.retain(|(a, _)| *a != app);
+        self.parked.remove(app);
         self.grant_next(GrantTrigger::Released);
     }
 
@@ -258,7 +263,7 @@ impl Arbiter {
         if self.active.contains(&app) {
             return;
         }
-        self.parked.retain(|(a, _)| *a != app);
+        self.parked.remove(app);
         self.grant(app);
         self.messages += 1;
         debug_assert!(
@@ -286,9 +291,7 @@ impl Arbiter {
     }
 
     fn park(&mut self, app: AppId, reason: ParkReason) {
-        if !self.parked.iter().any(|(a, _)| *a == app) {
-            self.parked.push_back((app, reason));
-        }
+        self.parked.push_back(app, reason);
     }
 
     /// Inserts `app` into the active set and notifies the policy — every
@@ -308,10 +311,12 @@ impl Arbiter {
             return;
         }
         let pick = self.policy.select_next(trigger, &view!(self));
-        let idx = pick
-            .and_then(|app| self.parked.iter().position(|(a, _)| *a == app))
-            .unwrap_or(0);
-        if let Some((app, _)) = self.parked.remove(idx) {
+        // An invalid answer (not parked / `None`) falls back to the head.
+        let chosen = pick
+            .filter(|app| self.parked.contains(*app))
+            .or_else(|| self.parked.first());
+        if let Some(app) = chosen {
+            self.parked.remove(app);
             self.grant(app);
         }
     }

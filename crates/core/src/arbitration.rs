@@ -75,7 +75,7 @@ use crate::strategy::Strategy;
 use pfs::AppId;
 use serde::{Deserialize, Serialize};
 use simcore::time::SimTime;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a parked application is parked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,6 +84,82 @@ pub enum ParkReason {
     Waiting,
     /// Was accessing, yielded after an interruption request.
     Interrupted,
+}
+
+/// The engine's parked queue: arrival order plus `O(log n)` membership,
+/// removal, and earliest-by-reason lookup, so no mechanism operation
+/// scans the whole queue (at machine scale it holds tens of thousands of
+/// waiting applications and park/release/grant run once per phase each).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ParkedQueue {
+    /// Arrival order: sequence number → entry.
+    order: BTreeMap<u64, (AppId, ParkReason)>,
+    /// Per-reason arrival order (`[Waiting, Interrupted]`).
+    by_reason: [BTreeSet<(u64, AppId)>; 2],
+    /// Membership: application → its live entry.
+    index: BTreeMap<AppId, (u64, ParkReason)>,
+    /// Next arrival sequence number (never reused).
+    next_seq: u64,
+}
+
+impl ParkedQueue {
+    fn slot(reason: ParkReason) -> usize {
+        match reason {
+            ParkReason::Waiting => 0,
+            ParkReason::Interrupted => 1,
+        }
+    }
+
+    /// Appends an application, keeping the earliest entry on duplicates.
+    /// Returns whether it was actually inserted.
+    pub(crate) fn push_back(&mut self, app: AppId, reason: ParkReason) -> bool {
+        if self.index.contains_key(&app) {
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.order.insert(seq, (app, reason));
+        self.by_reason[Self::slot(reason)].insert((seq, app));
+        self.index.insert(app, (seq, reason));
+        true
+    }
+
+    /// Drops an application's entry; returns whether it was present.
+    pub(crate) fn remove(&mut self, app: AppId) -> bool {
+        let Some((seq, reason)) = self.index.remove(&app) else {
+            return false;
+        };
+        self.order.remove(&seq);
+        self.by_reason[Self::slot(reason)].remove(&(seq, app));
+        true
+    }
+
+    pub(crate) fn contains(&self, app: AppId) -> bool {
+        self.index.contains_key(&app)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Entries in arrival order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (AppId, ParkReason)> + '_ {
+        self.order.values().copied()
+    }
+
+    /// The earliest-parked application, if any.
+    pub(crate) fn first(&self) -> Option<AppId> {
+        self.order.values().next().map(|(a, _)| *a)
+    }
+
+    /// The earliest-parked application with the given reason, if any.
+    pub(crate) fn first_with(&self, reason: ParkReason) -> Option<AppId> {
+        self.by_reason[Self::slot(reason)].first().map(|(_, a)| *a)
+    }
 }
 
 /// Read-only snapshot of the arbiter's state, handed to every policy
@@ -97,7 +173,7 @@ pub enum ParkReason {
 #[derive(Debug, Clone, Copy)]
 pub struct ArbiterView<'a> {
     pub(crate) active: &'a BTreeSet<AppId>,
-    pub(crate) parked: &'a VecDeque<(AppId, ParkReason)>,
+    pub(crate) parked: &'a ParkedQueue,
     pub(crate) interrupt_requested: &'a BTreeSet<AppId>,
     pub(crate) info: &'a BTreeMap<AppId, IoInfo>,
     pub(crate) now: SimTime,
@@ -118,12 +194,18 @@ impl ArbiterView<'_> {
     /// Parked applications with the reason they parked, in queue
     /// (arrival) order.
     pub fn parked(&self) -> impl Iterator<Item = (AppId, ParkReason)> + '_ {
-        self.parked.iter().copied()
+        self.parked.iter()
     }
 
     /// Number of parked applications.
     pub fn parked_len(&self) -> usize {
         self.parked.len()
+    }
+
+    /// The earliest-parked application with the given reason, if any —
+    /// `O(log n)`, no queue scan.
+    pub fn parked_first_with(&self, reason: ParkReason) -> Option<AppId> {
+        self.parked.first_with(reason)
     }
 
     /// Whether the given accessor has a pending interruption request (it
@@ -269,10 +351,8 @@ pub trait ArbitrationPolicy: std::fmt::Debug + Send {
             GrantTrigger::Yielded => ParkReason::Waiting,
             GrantTrigger::Released => ParkReason::Interrupted,
         };
-        view.parked()
-            .find(|(_, r)| *r == prefer)
-            .or_else(|| view.parked().next())
-            .map(|(a, _)| a)
+        view.parked_first_with(prefer)
+            .or_else(|| view.parked().next().map(|(a, _)| a))
     }
 
     /// A [`RequestDecision::QueueWithTimeout`] budget expired while the

@@ -10,7 +10,7 @@
 //! variant is matchable — no caller ever needs to parse an error message.
 
 use crate::arbitration::PolicyError;
-use pfs::AppId;
+use pfs::{AppId, TransferId};
 use simcore::time::SimDuration;
 
 /// A problem found while validating a scenario or one of its parts.
@@ -164,6 +164,16 @@ pub enum SessionError {
     },
     /// A report was requested for an application the session did not run.
     MissingApp(AppId),
+    /// One or more in-flight transfers sit at zero bandwidth with no
+    /// pending event that could ever raise it — the flows are starved
+    /// (e.g. by a zero-capacity constraint) and the session would never
+    /// advance. Distinguished from [`SessionError::Deadlock`] so a
+    /// mis-sized file system surfaces as "starved transfer", not as a
+    /// coordination bug.
+    StalledTransfer {
+        /// The starved transfers as `(owner, transfer)`, in id order.
+        transfers: Vec<(AppId, TransferId)>,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -186,6 +196,19 @@ impl std::fmt::Display for SessionError {
                 write!(f, "simulation exceeded the configured horizon of {horizon}")
             }
             SessionError::MissingApp(app) => write!(f, "no report for application {app}"),
+            SessionError::StalledTransfer { transfers } => {
+                write!(
+                    f,
+                    "stalled: transfers at zero bandwidth with no way to progress ["
+                )?;
+                for (i, (app, tid)) in transfers.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{app} transfer={}", tid.0)?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }
@@ -475,6 +498,18 @@ mod tests {
             "deadlock: no pending events but applications are not done \
              [app0 state=want-access pending=grant granted=no; \
              app1 state=writing pending=transfer-completion granted=yes]"
+        );
+    }
+
+    #[test]
+    fn stalled_transfer_message_is_structured_and_greppable() {
+        let e = SessionError::StalledTransfer {
+            transfers: vec![(AppId(0), TransferId(3)), (AppId(1), TransferId(7))],
+        };
+        assert_eq!(
+            e.to_string(),
+            "stalled: transfers at zero bandwidth with no way to progress \
+             [app0 transfer=3; app1 transfer=7]"
         );
     }
 

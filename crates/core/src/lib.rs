@@ -119,3 +119,4 @@ pub use trace::{Trace, TraceRecorder};
 // simple programs only have to depend on `calciom`.
 pub use mpiio::{AccessPattern, AppConfig, CollectiveConfig, Granularity};
 pub use pfs::{AppId, CacheConfig, PfsConfig, SharePolicy};
+pub use simcore::fair::SharingModel;

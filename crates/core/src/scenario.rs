@@ -23,6 +23,7 @@ use crate::strategy::Strategy;
 use mpiio::{AccessPattern, AppConfig, CollectiveConfig, Granularity};
 use pfs::{AppId, CacheConfig, PfsConfig, SharePolicy};
 use serde::{Deserialize, Serialize};
+use simcore::fair::SharingModel;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -44,6 +45,12 @@ pub struct Scenario {
     /// default, and what every legacy scenario decodes to) means "use
     /// [`Scenario::strategy`]'s built-in policy".
     pub arbitration: Option<PolicySpec>,
+    /// Which bandwidth-sharing medium the file system simulates flows on.
+    /// [`SharingModel::MaxMin`] (the default, and what every legacy
+    /// scenario decodes to) is the exact max-min fluid solver;
+    /// [`SharingModel::FairFast`] is the `O(log n)` virtual-time model.
+    #[serde(default)]
+    pub medium: SharingModel,
     /// How often applications issue coordination calls (interruption
     /// granularity).
     pub granularity: Granularity,
@@ -67,6 +74,7 @@ impl Scenario {
             apps,
             strategy: Strategy::Interfere,
             arbitration: None,
+            medium: SharingModel::default(),
             granularity: Granularity::Round,
             policy: DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
             coordination_overhead: SimDuration::from_millis(1.0),
@@ -174,6 +182,11 @@ impl Scenario {
         // byte-identical to the pre-policy-layer format.
         if let Some(spec) = &self.arbitration {
             kv(&mut out, "arbitration", spec.to_text());
+        }
+        // Same optional-key convention: only non-default media are
+        // written, so legacy (max-min) scenarios stay byte-identical.
+        if self.medium != SharingModel::default() {
+            kv(&mut out, "medium", self.medium.label().to_string());
         }
         kv(
             &mut out,
@@ -342,6 +355,11 @@ impl Scenario {
                 .remove("arbitration")
                 .map(|v| PolicySpec::from_text(&v).map_err(|_| invalid("arbitration", &v)))
                 .transpose()?,
+            medium: top
+                .remove("medium")
+                .map(|v| SharingModel::from_label(&v).ok_or_else(|| invalid("medium", &v)))
+                .transpose()?
+                .unwrap_or_default(),
             granularity: {
                 let v = take(&mut top, "granularity")?;
                 Granularity::from_label(&v).ok_or_else(|| invalid("granularity", &v))?
@@ -463,6 +481,15 @@ impl ScenarioBuilder {
     /// time.
     pub fn arbitration(mut self, spec: PolicySpec) -> Self {
         self.scenario.arbitration = Some(spec);
+        self
+    }
+
+    /// Selects the bandwidth-sharing medium the file system runs on.
+    /// Defaults to [`SharingModel::MaxMin`]; [`SharingModel::FairFast`]
+    /// trades exactness on unequal-share topologies for `O(log n)`
+    /// flow mutations (the machine-scale sweeps use it).
+    pub fn medium(mut self, medium: SharingModel) -> Self {
+        self.scenario.medium = medium;
         self
     }
 
@@ -804,6 +831,30 @@ mod tests {
         ));
         // And a malformed spec text fails decoding.
         let broken = text.replace("arbitration = rr(10s)", "arbitration = rr(10s");
+        assert!(matches!(
+            Scenario::from_text(&broken),
+            Err(ScenarioParseError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn medium_round_trips_and_legacy_text_is_unchanged() {
+        // Default (max-min) scenarios emit no medium key: their encoding
+        // is byte-identical to the pre-fair-medium format.
+        let legacy = sample();
+        assert_eq!(legacy.medium, SharingModel::MaxMin);
+        assert!(!legacy.to_text().contains("medium"));
+
+        let mut fair = sample();
+        fair.medium = SharingModel::FairFast;
+        let text = fair.to_text();
+        assert!(text.contains("medium = fair-fast"));
+        let back = Scenario::from_text(&text).unwrap();
+        assert_eq!(back, fair);
+        assert_eq!(back.to_text(), text);
+
+        // An unknown medium label fails decoding.
+        let broken = text.replace("medium = fair-fast", "medium = psychic");
         assert!(matches!(
             Scenario::from_text(&broken),
             Err(ScenarioParseError::InvalidValue { .. })

@@ -46,7 +46,7 @@ use pfs::{AppId, Pfs, PfsConfig, TransferId};
 use serde::{Deserialize, Serialize};
 use simcore::kernel::Kernel;
 use simcore::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Timing of one I/O phase of one application.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -309,6 +309,10 @@ pub struct Session<T: CoordinationTransport = LocalTransport> {
     kernel: Kernel<Event, Pfs>,
     apps: BTreeMap<AppId, AppRuntime>,
     transfer_owner: BTreeMap<TransferId, AppId>,
+    /// Applications currently in `WantAccess`/`Parked` — the candidates
+    /// [`Session::notify_granted`] must wake. Kept in sync with the
+    /// per-app state by [`Session::set_state`].
+    waiting: BTreeSet<AppId>,
     /// Applications that have not yet finished all of their phases.
     live_apps: usize,
 }
@@ -343,7 +347,7 @@ impl<T: CoordinationTransport> Session<T> {
     pub fn with_transport(scenario: &Scenario) -> Result<Self, Error> {
         scenario.validate_workload()?;
         let cfg = scenario.clone();
-        let pfs = Pfs::new(cfg.pfs.clone())?;
+        let pfs = Pfs::with_medium(cfg.pfs.clone(), cfg.medium)?;
         // The one policy resolution of this session: legacy strategies
         // keep the `Arbiter::new` shim (which records the strategy),
         // named policies install what `build_policy` resolves.
@@ -366,6 +370,7 @@ impl<T: CoordinationTransport> Session<T> {
             kernel,
             apps,
             transfer_owner: BTreeMap::new(),
+            waiting: BTreeSet::new(),
             live_apps,
         })
     }
@@ -399,6 +404,14 @@ impl<T: CoordinationTransport> Session<T> {
             // system's next internal change (transfer completion, cache
             // transition).
             let Some(next) = self.kernel.peek_next_time() else {
+                // No decision point on either axis. If in-flight transfers
+                // are starved at zero bandwidth (e.g. a zero-capacity
+                // constraint), report that specifically: it is a file
+                // system sizing problem, not a coordination deadlock.
+                let stalled = self.kernel.medium_mut().stalled_transfers();
+                if !stalled.is_empty() {
+                    return Err(SessionError::StalledTransfer { transfers: stalled }.into());
+                }
                 let apps = self
                     .apps
                     .values()
@@ -622,8 +635,7 @@ impl<T: CoordinationTransport> Session<T> {
                         );
                     }
                     AccessOutcome::MustWait => {
-                        let rt = self.apps.get_mut(&app).expect("known app");
-                        rt.state = RtState::WantAccess;
+                        self.set_state(app, RtState::WantAccess);
                         return;
                     }
                     AccessOutcome::MustWaitAtMost(secs) => {
@@ -634,9 +646,8 @@ impl<T: CoordinationTransport> Session<T> {
                                 max_wait_secs: secs,
                             },
                         );
-                        let rt = self.apps.get_mut(&app).expect("known app");
-                        rt.state = RtState::WantAccess;
-                        let phase = rt.phase;
+                        self.set_state(app, RtState::WantAccess);
+                        let phase = self.apps[&app].phase;
                         self.kernel.schedule(
                             now + SimDuration::from_secs(secs),
                             Event::DelayExpired(app, phase),
@@ -656,8 +667,7 @@ impl<T: CoordinationTransport> Session<T> {
                     YieldOutcome::Continue => {}
                     YieldOutcome::YieldNow => {
                         em.emit(now, SimEvent::Interrupted { app });
-                        let rt = self.apps.get_mut(&app).expect("known app");
-                        rt.state = RtState::Parked;
+                        self.set_state(app, RtState::Parked);
                         self.notify_granted(now);
                         return;
                     }
@@ -691,8 +701,7 @@ impl<T: CoordinationTransport> Session<T> {
         match kind {
             StepKind::Comm { seconds } => {
                 em.emit(now, SimEvent::CommStarted { app, seconds });
-                let rt = self.apps.get_mut(&app).expect("known app");
-                rt.state = RtState::Comm;
+                self.set_state(app, RtState::Comm);
                 self.kernel
                     .schedule(now + SimDuration::from_secs(seconds), Event::CommDone(app));
             }
@@ -706,8 +715,7 @@ impl<T: CoordinationTransport> Session<T> {
                         bytes,
                     },
                 );
-                let rt = self.apps.get_mut(&app).expect("known app");
-                rt.state = RtState::Writing;
+                self.set_state(app, RtState::Writing);
                 self.transfer_owner.insert(tid, app);
                 // Zero-byte writes complete immediately; pick them up on the
                 // next loop iteration via poll_completed.
@@ -746,14 +754,26 @@ impl<T: CoordinationTransport> Session<T> {
         });
         self.notify_granted(now);
 
-        let rt = self.apps.get_mut(&app).expect("known app");
         if more_phases {
+            let rt = self.apps.get_mut(&app).expect("known app");
             rt.reset_phase_accounting(next_start);
-            rt.state = RtState::Idle;
+            self.set_state(app, RtState::Idle);
             self.kernel.schedule(next_start, Event::PhaseStart(app));
         } else {
-            rt.state = RtState::Done;
+            self.set_state(app, RtState::Done);
             self.live_apps -= 1;
+        }
+    }
+
+    /// Writes an application's state and keeps the waiting index in sync:
+    /// apps enter it on `WantAccess`/`Parked` and leave it on anything else.
+    fn set_state(&mut self, app: AppId, state: RtState) {
+        let rt = self.apps.get_mut(&app).expect("known app");
+        rt.state = state;
+        if matches!(state, RtState::WantAccess | RtState::Parked) {
+            self.waiting.insert(app);
+        } else {
+            self.waiting.remove(&app);
         }
     }
 
@@ -761,17 +781,28 @@ impl<T: CoordinationTransport> Session<T> {
     /// every parked application that the arbiter has granted.
     fn notify_granted(&mut self, now: SimTime) {
         let overhead = self.cfg.coordination_overhead;
-        let apps = &self.apps;
-        let granted: Vec<AppId> = self.transport.with(|arb| {
-            apps.iter()
-                .filter(|(_, rt)| {
-                    matches!(rt.state, RtState::WantAccess | RtState::Parked)
-                        && arb.is_granted(rt.cfg.id)
-                })
-                .map(|(id, _)| *id)
-                .collect()
+        // The resumable set is granted ∩ waiting. Serialising schedules keep
+        // the granted side tiny while thousands wait; overlap-heavy ones
+        // (e.g. bounded delay after its force-grants) are the reverse, so
+        // walk whichever side is smaller. Both sides iterate in ascending
+        // id order over the same intersection, so the schedule order — and
+        // therefore the simulation — does not depend on the side chosen.
+        let waiting = &self.waiting;
+        let resumable: Vec<AppId> = self.transport.with(|arb| {
+            if arb.active_count() <= waiting.len() {
+                arb.active()
+                    .into_iter()
+                    .filter(|app| waiting.contains(app))
+                    .collect()
+            } else {
+                waiting
+                    .iter()
+                    .copied()
+                    .filter(|app| arb.is_granted(*app))
+                    .collect()
+            }
         });
-        for app in granted {
+        for app in resumable {
             self.kernel.schedule(now + overhead, Event::Resume(app));
         }
     }
@@ -783,6 +814,7 @@ mod tests {
     use crate::api::SharedTransport;
     use crate::error::ConfigError;
     use mpiio::AccessPattern;
+    use simcore::fair::SharingModel;
 
     const MB: f64 = 1.0e6;
 
@@ -1135,6 +1167,70 @@ mod tests {
             scenario.run().unwrap_err(),
             Error::Session(SessionError::HorizonExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn starved_transfers_surface_as_stalled_not_deadlock() {
+        // A zero-capacity interconnect pins every write at zero bandwidth:
+        // the session must fail fast with the structured stalled-transfer
+        // error (a file system sizing problem), not hang to the horizon or
+        // misreport a coordination deadlock — on either sharing medium.
+        for medium in [SharingModel::MaxMin, SharingModel::FairFast] {
+            let scenario = Scenario::builder(rennes())
+                .app(app(0, "A", 336, 16.0, 0.0))
+                .medium(medium)
+                .build()
+                .unwrap();
+            let mut session = Session::<LocalTransport>::with_transport(&scenario).unwrap();
+            session.kernel.medium_mut().throttle_interconnect(0.0);
+            let err = session.execute().unwrap_err();
+            match &err {
+                Error::Session(SessionError::StalledTransfer { transfers }) => {
+                    assert!(
+                        transfers.iter().any(|&(a, _)| a == AppId(0)),
+                        "{medium:?}: the starved app is named"
+                    );
+                }
+                other => panic!("{medium:?}: expected StalledTransfer, got {other:?}"),
+            }
+            assert!(err.to_string().contains("stalled"));
+        }
+    }
+
+    #[test]
+    fn fair_fast_medium_runs_sessions_end_to_end() {
+        // The virtual-time medium drives the same coordination machinery:
+        // a two-application mix runs to completion under every strategy,
+        // and on this equal-share workload the serialized makespan matches
+        // the exact max-min medium's to within a tick-rounding sliver.
+        let apps = || [app(0, "A", 336, 16.0, 0.0), app(1, "B", 336, 16.0, 0.5)];
+        for strategy in [
+            Strategy::Interfere,
+            Strategy::FcfsSerialize,
+            Strategy::Interrupt,
+            Strategy::Dynamic,
+        ] {
+            let fair = Scenario::builder(rennes())
+                .apps(apps())
+                .strategy(strategy)
+                .medium(SharingModel::FairFast)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            let exact = Scenario::builder(rennes())
+                .apps(apps())
+                .strategy(strategy)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            let (f, e) = (fair.makespan.as_secs(), exact.makespan.as_secs());
+            assert!(
+                (f - e).abs() / e < 0.02,
+                "{strategy:?}: fair-fast makespan {f} vs max-min {e}"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@
 
 use calciom::{Error, Scenario, Session};
 use mpiio::AppConfig;
-use pfs::PfsConfig;
+use pfs::{AppId, PfsConfig};
 use simcore::SimTime;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,13 +109,22 @@ impl BaselineCache {
         self.map.lock().expect("baseline cache lock").clear();
     }
 
-    /// The cache key: the exact serialized form of the scenario
-    /// [`Session::run_alone`] would execute (start zeroed, defaults for
-    /// everything the baseline run fixes).
+    /// The cache key: the *canonical* serialized form of the scenario
+    /// [`Session::run_alone`] would execute. Every field the baseline run
+    /// is invariant to is normalized away — `run_alone` zeroes the start
+    /// time itself, and a stand-alone session's result cannot depend on
+    /// the application's id or display name — and the text is passed once
+    /// through the codec (`from_text ∘ to_text`), so any two descriptions
+    /// of the same baseline simulation share one entry.
     fn key(app: &AppConfig, pfs: &PfsConfig) -> String {
         let mut app = app.clone();
         app.start = SimTime::ZERO;
-        Scenario::new(pfs.clone(), vec![app]).to_text()
+        app.id = AppId(0);
+        app.name = String::new();
+        let text = Scenario::new(pfs.clone(), vec![app]).to_text();
+        Scenario::from_text(&text)
+            .map(|s| s.to_text())
+            .unwrap_or(text)
     }
 }
 
@@ -166,6 +175,27 @@ mod tests {
             .unwrap();
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn identity_fields_do_not_split_the_cache() {
+        // Two descriptions of the same baseline simulation — differing
+        // only in application id, display name, and start offset — must
+        // share one cache entry: the key is canonical, not literal.
+        let cache = BaselineCache::new();
+        let pfs = PfsConfig::grid5000_rennes();
+        cache.alone_time(&app(0, 336, 16.0), &pfs).unwrap();
+        let twin = AppConfig::new(
+            AppId(7),
+            "same workload, different label",
+            336,
+            AccessPattern::contiguous(16.0 * MB),
+        )
+        .starting_at_secs(3.25);
+        cache.alone_time(&twin, &pfs).unwrap();
+        assert_eq!(cache.misses(), 1, "the twin must hit, not re-simulate");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::error::ConfigError;
 use crate::server::ServerState;
 use crate::{AppId, WriteBackCache};
 use serde::{Deserialize, Serialize};
-use simcore::fluid::{ConstraintId, FlowId, FlowSpec, FluidNetwork};
+use simcore::fair::{SharingModel, VtFairNetwork};
+use simcore::fluid::{ConstraintId, FlowId, FlowProgress, FlowSpec, FluidNetwork};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -51,32 +52,117 @@ struct Transfer {
     bytes: f64,
     per_server_bytes: f64,
     flows: Vec<FlowSlot>,
+    /// Flows not yet done — completion fires when this reaches zero,
+    /// without scanning `flows`.
+    pending: usize,
     started: SimTime,
     completed: Option<SimTime>,
     paused: bool,
-    reported: bool,
     done_bytes: f64,
+}
+
+/// The bandwidth-sharing substrate behind the file system: either the
+/// exact incremental max-min solver or the `O(log n)` virtual-time model,
+/// selected per [`SharingModel`]. Enum dispatch (rather than generics)
+/// keeps `Pfs` a single concrete type for every layer above it.
+#[derive(Debug, Clone)]
+enum Network {
+    MaxMin(FluidNetwork),
+    FairFast(VtFairNetwork),
+}
+
+macro_rules! delegate {
+    ($self:ident, $net:ident => $body:expr) => {
+        match $self {
+            Network::MaxMin($net) => $body,
+            Network::FairFast($net) => $body,
+        }
+    };
+}
+
+impl Network {
+    fn add_constraint(&mut self, capacity: f64) -> ConstraintId {
+        delegate!(self, net => net.add_constraint(capacity))
+    }
+    fn set_capacity(&mut self, id: ConstraintId, capacity: f64) {
+        delegate!(self, net => net.set_capacity(id, capacity))
+    }
+    fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        delegate!(self, net => net.add_flow(spec))
+    }
+    fn remove_flow(&mut self, id: FlowId) -> Option<FlowProgress> {
+        delegate!(self, net => net.remove_flow(id))
+    }
+    fn pause_flow(&mut self, id: FlowId) {
+        delegate!(self, net => net.pause_flow(id))
+    }
+    fn resume_flow(&mut self, id: FlowId) {
+        delegate!(self, net => net.resume_flow(id))
+    }
+    fn progress(&mut self, id: FlowId) -> Option<FlowProgress> {
+        delegate!(self, net => net.progress(id))
+    }
+    fn is_complete(&self, id: FlowId) -> bool {
+        delegate!(self, net => net.is_complete(id))
+    }
+    fn rate(&mut self, id: FlowId) -> f64 {
+        delegate!(self, net => net.rate(id))
+    }
+    fn aggregate_rate(&mut self) -> f64 {
+        delegate!(self, net => net.aggregate_rate())
+    }
+    fn time_to_next_completion(&mut self) -> Option<SimDuration> {
+        delegate!(self, net => net.time_to_next_completion())
+    }
+    fn advance(&mut self, dt: SimDuration) {
+        delegate!(self, net => net.advance(dt))
+    }
+    fn drain_completed(&mut self) -> Vec<FlowId> {
+        delegate!(self, net => net.drain_completed())
+    }
+    fn stalled_flows(&mut self) -> Vec<FlowId> {
+        match self {
+            Network::MaxMin(net) => net.stalled_flows(),
+            Network::FairFast(net) => net.stalled_flows(),
+        }
+    }
 }
 
 /// The simulated parallel file system.
 #[derive(Debug, Clone)]
 pub struct Pfs {
     cfg: PfsConfig,
-    net: FluidNetwork,
+    net: Network,
+    sharing: SharingModel,
     servers: Vec<ServerState>,
-    #[allow(dead_code)]
     interconnect: ConstraintId,
     transfers: BTreeMap<TransferId, Transfer>,
+    /// Reverse map from network flow to its (transfer, server) slot, so
+    /// completions drain in `O(log n)` instead of a full transfer scan.
+    flow_index: BTreeMap<FlowId, (TransferId, usize)>,
+    /// Transfers completed since the last [`Pfs::poll_completed`].
+    newly_done: Vec<(SimTime, TransferId)>,
+    /// Per-application count of unpaused, incomplete transfers.
+    active_counts: BTreeMap<AppId, usize>,
     next_id: u64,
     now: SimTime,
     bytes_completed: BTreeMap<AppId, f64>,
 }
 
 impl Pfs {
-    /// Builds a file system from a validated configuration.
+    /// Builds a file system from a validated configuration, on the default
+    /// (exact max-min) sharing model.
     pub fn new(cfg: PfsConfig) -> Result<Self, ConfigError> {
+        Self::with_medium(cfg, SharingModel::default())
+    }
+
+    /// Builds a file system on an explicitly chosen sharing model.
+    pub fn with_medium(cfg: PfsConfig, sharing: SharingModel) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let mut net = FluidNetwork::new();
+        let mut net = match sharing {
+            SharingModel::MaxMin => Network::MaxMin(FluidNetwork::new()),
+            SharingModel::FairFast => Network::FairFast(VtFairNetwork::new()),
+        };
         let interconnect = net.add_constraint(cfg.interconnect_bw);
         let mut servers = Vec::with_capacity(cfg.num_servers);
         for _ in 0..cfg.num_servers {
@@ -91,9 +177,13 @@ impl Pfs {
         Ok(Pfs {
             cfg,
             net,
+            sharing,
             servers,
             interconnect,
             transfers: BTreeMap::new(),
+            flow_index: BTreeMap::new(),
+            newly_done: Vec::new(),
+            active_counts: BTreeMap::new(),
             next_id: 0,
             now: SimTime::ZERO,
             bytes_completed: BTreeMap::new(),
@@ -103,6 +193,11 @@ impl Pfs {
     /// The configuration in use.
     pub fn config(&self) -> &PfsConfig {
         &self.cfg
+    }
+
+    /// The bandwidth-sharing model this file system runs on.
+    pub fn sharing_model(&self) -> SharingModel {
+        self.sharing
     }
 
     /// Current simulated time.
@@ -140,6 +235,16 @@ impl Pfs {
             flows.push(FlowSlot { flow, done: false });
         }
 
+        let pending = flows.len();
+        for (idx, slot) in flows.iter().enumerate() {
+            self.flow_index.insert(slot.flow, (id, idx));
+        }
+        // A zero-byte write's flows are born complete.
+        let born_done: Vec<FlowId> = flows
+            .iter()
+            .filter(|s| self.net.is_complete(s.flow))
+            .map(|s| s.flow)
+            .collect();
         self.transfers.insert(
             id,
             Transfer {
@@ -148,16 +253,18 @@ impl Pfs {
                 bytes,
                 per_server_bytes,
                 flows,
+                pending,
                 started: self.now,
                 completed: None,
                 paused: false,
-                reported: false,
                 done_bytes: 0.0,
             },
         );
+        *self.active_counts.entry(app).or_insert(0) += 1;
+        for flow in born_done {
+            self.finish_flow(flow);
+        }
         self.refresh_capacities();
-        // A zero-byte write completes immediately.
-        self.collect_completions();
         id
     }
 
@@ -178,6 +285,8 @@ impl Pfs {
                 self.servers[idx].remove_stream(tr.app);
             }
         }
+        let count = self.active_counts.entry(tr.app).or_insert(0);
+        *count = count.saturating_sub(1);
         self.refresh_capacities();
     }
 
@@ -196,7 +305,12 @@ impl Pfs {
                 self.servers[idx].add_stream(tr.app);
             }
         }
+        *self.active_counts.entry(tr.app).or_insert(0) += 1;
         self.refresh_capacities();
+        // A resumed flow whose bytes were already settled complete (the
+        // virtual-time medium snaps these at resume) must finish its
+        // transfer bookkeeping immediately.
+        self.collect_completions();
     }
 
     /// Cancels a transfer, discarding any unfinished bytes.
@@ -207,10 +321,15 @@ impl Pfs {
         for (idx, slot) in tr.flows.iter().enumerate() {
             if !slot.done {
                 self.net.remove_flow(slot.flow);
+                self.flow_index.remove(&slot.flow);
                 if !tr.paused {
                     self.servers[idx].remove_stream(tr.app);
                 }
             }
+        }
+        if tr.completed.is_none() && !tr.paused {
+            let count = self.active_counts.entry(tr.app).or_insert(0);
+            *count = count.saturating_sub(1);
         }
         self.refresh_capacities();
     }
@@ -229,11 +348,9 @@ impl Pfs {
     }
 
     /// Whether the given application currently has an unpaused, incomplete
-    /// transfer in flight.
+    /// transfer in flight. `O(log n)` via the per-application counter.
     pub fn app_is_active(&self, app: AppId) -> bool {
-        self.transfers
-            .values()
-            .any(|t| t.app == app && t.completed.is_none() && !t.paused)
+        self.active_counts.get(&app).copied().unwrap_or(0) > 0
     }
 
     /// Progress snapshot for a transfer.
@@ -370,18 +487,45 @@ impl Pfs {
     }
 
     /// Transfers that completed since the last call, in completion order.
+    /// `O(completions)` — completions queue as they drain from the
+    /// network; no transfer scan.
     pub fn poll_completed(&mut self) -> Vec<TransferId> {
-        let mut done: Vec<(SimTime, TransferId)> = Vec::new();
-        for (id, tr) in self.transfers.iter_mut() {
-            if let Some(t) = tr.completed {
-                if !tr.reported {
-                    tr.reported = true;
-                    done.push((t, *id));
-                }
-            }
+        if self.newly_done.is_empty() {
+            return Vec::new();
         }
+        let mut done: Vec<(SimTime, TransferId)> = std::mem::take(&mut self.newly_done)
+            .into_iter()
+            // A transfer cancelled after completing is never reported,
+            // matching the pre-queue scan semantics.
+            .filter(|(_, id)| self.transfers.contains_key(id))
+            .collect();
         done.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         done.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Transfers that are active (unpaused, incomplete) yet pinned at a
+    /// zero rate by the network — e.g. starved by a zero-capacity
+    /// constraint. Such transfers never produce a completion event; the
+    /// session layer surfaces them as a structured error instead of
+    /// hanging until the horizon.
+    pub fn stalled_transfers(&mut self) -> Vec<(AppId, TransferId)> {
+        let stalled = self.net.stalled_flows();
+        let mut out: Vec<(AppId, TransferId)> = stalled
+            .iter()
+            .filter_map(|f| self.flow_index.get(f))
+            .filter_map(|&(tid, _)| self.transfers.get(&tid).map(|t| (t.app, tid)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Overrides the interconnect ceiling at runtime (fault injection for
+    /// degraded-network experiments; `0.0` starves every in-flight
+    /// transfer, which [`Pfs::stalled_transfers`] then reports).
+    pub fn throttle_interconnect(&mut self, bw: f64) {
+        assert!(bw >= 0.0 && !bw.is_nan(), "bandwidth must be non-negative");
+        self.net.set_capacity(self.interconnect, bw);
     }
 
     /// Resets all cache state (between independent experiment repetitions).
@@ -414,38 +558,49 @@ impl Pfs {
         ingest
     }
 
+    /// Drains flow completions out of the network and folds them into
+    /// their transfers: `O(completions · log n)`, no transfer scan.
     fn collect_completions(&mut self) {
-        let now = self.now;
-        let mut capacity_dirty = false;
-        for tr in self.transfers.values_mut() {
-            if tr.completed.is_some() {
-                continue;
-            }
-            let mut all_done = true;
-            for (idx, slot) in tr.flows.iter_mut().enumerate() {
-                if slot.done {
-                    continue;
-                }
-                if self.net.is_complete(slot.flow) {
-                    slot.done = true;
-                    tr.done_bytes += tr.per_server_bytes;
-                    self.net.remove_flow(slot.flow);
-                    if !tr.paused {
-                        self.servers[idx].remove_stream(tr.app);
-                    }
-                    capacity_dirty = true;
-                } else {
-                    all_done = false;
-                }
-            }
-            if all_done {
-                tr.completed = Some(now);
-                tr.done_bytes = tr.bytes;
-                *self.bytes_completed.entry(tr.app).or_insert(0.0) += tr.bytes;
-            }
+        let done = self.net.drain_completed();
+        if done.is_empty() {
+            return;
         }
-        if capacity_dirty {
-            self.refresh_capacities();
+        for flow in done {
+            self.finish_flow(flow);
+        }
+        self.refresh_capacities();
+    }
+
+    /// Retires one completed flow: marks its server slot done, releases
+    /// its stream, and completes the owning transfer when it was the last.
+    fn finish_flow(&mut self, flow: FlowId) {
+        let Some((tid, idx)) = self.flow_index.remove(&flow) else {
+            return;
+        };
+        let now = self.now;
+        let Some(tr) = self.transfers.get_mut(&tid) else {
+            return;
+        };
+        let slot = &mut tr.flows[idx];
+        if slot.done {
+            return;
+        }
+        slot.done = true;
+        tr.pending -= 1;
+        tr.done_bytes += tr.per_server_bytes;
+        self.net.remove_flow(flow);
+        if !tr.paused {
+            self.servers[idx].remove_stream(tr.app);
+        }
+        if tr.pending == 0 {
+            tr.completed = Some(now);
+            tr.done_bytes = tr.bytes;
+            *self.bytes_completed.entry(tr.app).or_insert(0.0) += tr.bytes;
+            // A transfer can only finish through unpaused flows, so it
+            // still counts as active here.
+            let count = self.active_counts.entry(tr.app).or_insert(0);
+            *count = count.saturating_sub(1);
+            self.newly_done.push((now, tid));
         }
     }
 
@@ -512,6 +667,32 @@ mod tests {
         assert!(p.completed.unwrap() >= t(0.99));
         assert_eq!(pfs.poll_completed(), vec![tr]);
         assert!(pfs.poll_completed().is_empty(), "reported only once");
+    }
+
+    #[test]
+    fn zero_capacity_interconnect_starves_transfers_and_is_reported() {
+        for sharing in [SharingModel::MaxMin, SharingModel::FairFast] {
+            let cfg = PfsConfig {
+                // Finite and binding, so both media route flows through it.
+                interconnect_bw: 50.0e6,
+                ..simple_cfg()
+            };
+            let mut pfs = Pfs::with_medium(cfg, sharing).unwrap();
+            let tr = pfs.submit_write(AppId(0), 100.0e6, 128);
+            assert!(pfs.stalled_transfers().is_empty(), "{sharing:?}: healthy");
+            pfs.throttle_interconnect(0.0);
+            pfs.advance_to(t(1.0));
+            assert!(!pfs.is_complete(tr), "{sharing:?}: cannot progress");
+            assert_eq!(
+                pfs.stalled_transfers(),
+                vec![(AppId(0), tr)],
+                "{sharing:?}: the starved transfer is reported"
+            );
+            assert!(
+                pfs.next_event_time().is_none(),
+                "{sharing:?}: a starved transfer never becomes an event"
+            );
+        }
     }
 
     #[test]

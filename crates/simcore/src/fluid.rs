@@ -38,9 +38,22 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Numerical tolerance for byte counts and rates.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 /// A flow whose remaining volume falls below this many bytes is complete.
 const COMPLETE_BYTES: f64 = 1e-6;
+/// Relative completion slack. `advance` integrates `remaining -= rate · dt`
+/// in f64 per step, so a flow advanced in many segments accumulates
+/// rounding drift proportional to its volume (about one ulp of `bytes`
+/// per step). A flow is therefore snapped complete when its remaining
+/// volume is within `bytes · COMPLETE_REL` of zero — comfortably above
+/// thousands of steps of drift (~2e-13 · bytes), yet orders of magnitude
+/// below the bytes a real flow moves in one simulator tick.
+const COMPLETE_REL: f64 = 1e-12;
+
+/// Bytes below which a flow of the given total volume counts as complete.
+pub(crate) fn completion_threshold(bytes: f64) -> f64 {
+    COMPLETE_BYTES.max(bytes * COMPLETE_REL)
+}
 
 /// Handle to a capacity constraint (e.g. one storage server's bandwidth).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -115,6 +128,8 @@ pub struct FluidNetwork {
     /// Changed flows that cross no finite constraint (their rate is their
     /// own cap; nobody else is affected).
     dirty_lone: BTreeSet<FlowId>,
+    /// Completions since the last [`FluidNetwork::drain_completed`].
+    newly_completed: Vec<FlowId>,
 }
 
 impl FluidNetwork {
@@ -175,7 +190,7 @@ impl FluidNetwork {
         }
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
-        let participates = spec.bytes > COMPLETE_BYTES;
+        let participates = spec.bytes > completion_threshold(spec.bytes);
         self.flows.insert(
             id,
             FlowState {
@@ -215,7 +230,7 @@ impl FluidNetwork {
         if f.paused {
             return;
         }
-        let was_active = f.remaining > COMPLETE_BYTES;
+        let was_active = f.remaining > completion_threshold(f.spec.bytes);
         f.paused = true;
         f.rate = 0.0;
         if was_active {
@@ -232,7 +247,7 @@ impl FluidNetwork {
             return;
         }
         f.paused = false;
-        if f.remaining > COMPLETE_BYTES {
+        if f.remaining > completion_threshold(f.spec.bytes) {
             self.join(id);
         }
     }
@@ -252,7 +267,7 @@ impl FluidNetwork {
     pub fn is_complete(&self, id: FlowId) -> bool {
         self.flows
             .get(&id)
-            .map(|f| f.remaining <= COMPLETE_BYTES)
+            .map(|f| f.remaining <= completion_threshold(f.spec.bytes))
             .unwrap_or(false)
     }
 
@@ -285,7 +300,7 @@ impl FluidNetwork {
         self.ensure_rates();
         let mut best: Option<f64> = None;
         for f in self.flows.values() {
-            if f.paused || f.remaining <= COMPLETE_BYTES || f.rate <= EPS {
+            if f.paused || f.remaining <= completion_threshold(f.spec.bytes) || f.rate <= EPS {
                 continue;
             }
             let t = f.remaining / f.rate;
@@ -318,7 +333,12 @@ impl FluidNetwork {
             let moved = (f.rate * secs).min(f.remaining);
             f.remaining -= moved;
             f.transferred += moved;
-            if f.remaining <= COMPLETE_BYTES {
+            // The relative slack snaps a flow complete when per-step f64
+            // integration drift would otherwise leave it a few ulps short
+            // at its own predicted completion instant (which would cost an
+            // extra near-zero event round to mop up).
+            if f.remaining <= completion_threshold(f.spec.bytes) {
+                f.transferred = f.spec.bytes;
                 f.remaining = 0.0;
                 f.rate = 0.0;
                 completed.push(*id);
@@ -326,15 +346,37 @@ impl FluidNetwork {
         }
         // Completions free capacity for the survivors of their component.
         for id in completed {
+            self.newly_completed.push(id);
             self.leave(id);
         }
+    }
+
+    /// Flows that completed since the last call, in completion order.
+    pub fn drain_completed(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.newly_completed)
+    }
+
+    /// Active (unpaused, incomplete) flows currently allocated a zero
+    /// rate — starved by binding constraints (e.g. a zero-capacity
+    /// constraint) or by an infinite-cap-on-infinite-constraint
+    /// degeneracy. Such flows never produce a completion event, so a
+    /// session driving the network would hang without detecting them.
+    pub fn stalled_flows(&mut self) -> Vec<FlowId> {
+        self.ensure_rates();
+        self.flows
+            .iter()
+            .filter(|(_, f)| {
+                !f.paused && f.remaining > completion_threshold(f.spec.bytes) && f.rate <= EPS
+            })
+            .map(|(id, _)| *id)
+            .collect()
     }
 
     /// Flows that are complete but still registered.
     pub fn completed_flows(&self) -> Vec<FlowId> {
         self.flows
             .iter()
-            .filter(|(_, f)| f.remaining <= COMPLETE_BYTES)
+            .filter(|(_, f)| f.remaining <= completion_threshold(f.spec.bytes))
             .map(|(id, _)| *id)
             .collect()
     }
@@ -355,7 +397,7 @@ impl FluidNetwork {
     fn participates(&self, id: FlowId) -> bool {
         self.flows
             .get(&id)
-            .map(|f| !f.paused && f.remaining > COMPLETE_BYTES)
+            .map(|f| !f.paused && f.remaining > completion_threshold(f.spec.bytes))
             .unwrap_or(false)
     }
 
@@ -438,7 +480,7 @@ impl FluidNetwork {
         let Some(f) = self.flows.get_mut(&id) else {
             return;
         };
-        let active = !f.paused && f.remaining > COMPLETE_BYTES;
+        let active = !f.paused && f.remaining > completion_threshold(f.spec.bytes);
         f.rate = if active && f.spec.rate_cap.is_finite() {
             f.spec.rate_cap
         } else {
@@ -608,7 +650,7 @@ impl FluidNetwork {
             expected.extend(subset.into_iter().zip(rates));
         }
         for (id, f) in &self.flows {
-            let want = if !f.paused && f.remaining > COMPLETE_BYTES {
+            let want = if !f.paused && f.remaining > completion_threshold(f.spec.bytes) {
                 match expected.get(id) {
                     Some(&r) => r,
                     // Not in any finite component: the lone-flow shortcut.
@@ -703,6 +745,57 @@ mod tests {
         assert!(net.is_complete(f));
         assert_eq!(net.completed_flows(), vec![f]);
         assert!(net.time_to_next_completion().is_none());
+    }
+
+    #[test]
+    fn many_segment_flow_completes_at_its_predicted_instant() {
+        // Regression for per-step f64 integration drift: a flow advanced
+        // in thousands of segments accumulates rounding error in
+        // `remaining -= rate * dt` and used to land a few hundred ulps
+        // short of the absolute completion threshold at its own predicted
+        // completion time, costing an extra near-zero event round. The
+        // relative completion slack must absorb that drift.
+        let mut net = FluidNetwork::new();
+        let server = net.add_constraint(1.0e8 / 7.0); // non-representable rate
+        let f = net.add_flow(FlowSpec::new(1.0e9, 1.0, f64::INFINITY, vec![server]));
+        let total = net.time_to_next_completion().unwrap();
+        // Alternating uneven segments (prime tick counts) so the per-step
+        // rounding errors do not telescope away; this pattern accumulates
+        // ~1.2e-5 bytes of drift, an order of magnitude above the absolute
+        // completion threshold.
+        let mut left = total.ticks();
+        let mut toggle = true;
+        while left > 0 {
+            let step = if toggle { 7919 } else { 104_729 }.min(left);
+            net.advance(SimDuration::from_ticks(step));
+            left -= step;
+            toggle = !toggle;
+        }
+        assert!(
+            net.is_complete(f),
+            "drift left the flow incomplete at its predicted completion: {:?}",
+            net.progress(f).unwrap()
+        );
+        assert_eq!(net.drain_completed(), vec![f]);
+        let p = net.progress(f).unwrap();
+        assert_eq!(p.remaining, 0.0);
+        assert_eq!(p.transferred, 1.0e9);
+    }
+
+    #[test]
+    fn stalled_flows_reports_zero_rate_active_flows() {
+        let mut net = FluidNetwork::new();
+        let dead = net.add_constraint(0.0);
+        let live = net.add_constraint(100.0);
+        let stuck = net.add_flow(FlowSpec::new(100.0, 1.0, f64::INFINITY, vec![dead]));
+        let ok = net.add_flow(FlowSpec::new(100.0, 1.0, f64::INFINITY, vec![live]));
+        assert_eq!(net.stalled_flows(), vec![stuck]);
+        // Paused and completed flows are not "stalled".
+        net.pause_flow(stuck);
+        assert!(net.stalled_flows().is_empty());
+        net.advance(SimDuration::from_secs(10.0));
+        assert!(net.is_complete(ok));
+        assert!(net.stalled_flows().is_empty());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! ```
 
 use crate::event::{EventId, EventQueue};
+use crate::fair::VtFairNetwork;
 use crate::fluid::FluidNetwork;
 use crate::time::{SimDuration, SimTime};
 
@@ -75,6 +76,16 @@ impl Medium for FluidNetwork {
     }
     fn advance(&mut self, dt: SimDuration) {
         FluidNetwork::advance(self, dt);
+    }
+}
+
+impl Medium for VtFairNetwork {
+    fn time_to_next(&mut self) -> Option<SimDuration> {
+        self.time_to_next_completion()
+            .map(|d| d.max(SimDuration::from_ticks(1)))
+    }
+    fn advance(&mut self, dt: SimDuration) {
+        VtFairNetwork::advance(self, dt);
     }
 }
 

@@ -13,6 +13,10 @@
 //!   *flows* draining bytes through shared capacity *constraints* with
 //!   weighted max-min fairness. This is how cross-application interference
 //!   at the parallel file system emerges in the simulation.
+//! * [`fair`] — the [`VtFairNetwork`] virtual-time fair-sharing model: the
+//!   same flow/constraint vocabulary, but completions are predicted once at
+//!   insert via a per-group virtual clock and a priority queue, making every
+//!   mutation `O(log n)`. [`SharingModel`] selects between the two.
 //! * [`observe`] — time-stamped event streams ([`Stamped`], [`EventLog`]),
 //!   the substrate of the observability layer: higher crates define domain
 //!   events and stream them through observers built on these containers.
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fair;
 pub mod fluid;
 pub mod kernel;
 pub mod observe;
@@ -62,6 +67,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventId, EventQueue};
+pub use fair::{SharingModel, VtFairNetwork};
 pub use fluid::{ConstraintId, FlowId, FlowProgress, FlowSpec, FluidNetwork};
 pub use kernel::{Kernel, Medium};
 pub use observe::{EventLog, Stamped};

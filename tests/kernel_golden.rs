@@ -157,6 +157,46 @@ fn traces_match_the_pre_kernel_goldens() {
 }
 
 #[test]
+fn fair_fast_medium_reproduces_the_goldens_without_progress_samples() {
+    use calciom_stack::calciom::{SharingModel, SimEvent, SimObserver};
+    use calciom_stack::simcore::SimTime;
+
+    // The golden matrix is equal-share at every server (uniform client
+    // cap / share weight ratio per group), where the virtual-time medium
+    // is exact, not approximate: every discrete decision — timestamps,
+    // order, payloads — must match the max-min solver bit for bit.
+    // Progress samples are excluded: they carry full-precision f64 rates
+    // whose last ulps legitimately differ between the two solvers'
+    // arithmetic.
+    struct NoProgress(TraceRecorder);
+    impl SimObserver for NoProgress {
+        fn on_event(&mut self, at: SimTime, event: &SimEvent) {
+            self.0.on_event(at, event);
+        }
+        fn wants_progress(&self) -> bool {
+            false
+        }
+    }
+    let hash = |scenario: &Scenario| {
+        let mut rec = NoProgress(TraceRecorder::for_scenario(scenario));
+        Session::new(scenario)
+            .unwrap()
+            .execute_with(&mut rec)
+            .unwrap();
+        fnv1a64(rec.0.into_trace().to_text().as_bytes())
+    };
+    for (label, _, scenario) in matrix() {
+        let mut fair = scenario.clone();
+        fair.medium = SharingModel::FairFast;
+        assert_eq!(
+            hash(&fair),
+            hash(&scenario),
+            "{label}: fair-fast event stream diverged from max-min"
+        );
+    }
+}
+
+#[test]
 fn registry_built_policies_match_the_goldens_too() {
     // The compatibility contract of the open arbitration layer: running a
     // golden scenario through `arbitration = <spec>` (the policy registry

@@ -102,6 +102,128 @@ proptest! {
         }
     }
 
+    /// Differential test of the two sharing media: on an equal-share
+    /// topology (one constraint, uncapped flows), the virtual-time model
+    /// must agree with the exact max-min solver on *every* observable —
+    /// per-flow progress after an arbitrary interleaving of inserts,
+    /// pauses, resumes and advances, and the completion time of every
+    /// flow — to within integer-tick rounding.
+    #[test]
+    fn vtfair_matches_fluid_on_equal_share_topologies(
+        capacity in 10.0f64..1000.0,
+        ops in prop::collection::vec(
+            (0usize..4, 1.0f64..1e5, 1.0f64..8.0, 0.01f64..20.0),
+            1..40,
+        ),
+    ) {
+        use simcore::fair::VtFairNetwork;
+
+        let mut fluid = FluidNetwork::new();
+        let mut fair = VtFairNetwork::new();
+        let cf = fluid.add_constraint(capacity);
+        let cv = fair.add_constraint(capacity);
+        // Paired handles: ops are mirrored verbatim on both networks.
+        let mut pairs = Vec::new();
+        let mut clock = 0.0f64;
+        let mut done_f = std::collections::BTreeMap::new();
+        let mut done_v = std::collections::BTreeMap::new();
+        let drain = |fluid: &mut FluidNetwork,
+                         fair: &mut VtFairNetwork,
+                         clock: f64,
+                         done_f: &mut std::collections::BTreeMap<_, f64>,
+                         done_v: &mut std::collections::BTreeMap<_, f64>| {
+            for id in fluid.drain_completed() {
+                done_f.insert(id, clock);
+            }
+            for id in fair.drain_completed() {
+                done_v.insert(id, clock);
+            }
+        };
+        for (op, bytes, pick, secs) in &ops {
+            match op {
+                0 => {
+                    let weight = pick.floor();
+                    pairs.push((
+                        fluid.add_flow(FlowSpec::new(*bytes, weight, f64::INFINITY, vec![cf])),
+                        fair.add_flow(FlowSpec::new(*bytes, weight, f64::INFINITY, vec![cv])),
+                    ));
+                }
+                1 if !pairs.is_empty() => {
+                    let (a, b) = pairs[(*pick as usize) % pairs.len()];
+                    fluid.pause_flow(a);
+                    fair.pause_flow(b);
+                }
+                2 if !pairs.is_empty() => {
+                    let (a, b) = pairs[(*pick as usize) % pairs.len()];
+                    fluid.resume_flow(a);
+                    fair.resume_flow(b);
+                }
+                3 => {
+                    let dt = SimDuration::from_secs(*secs);
+                    fluid.advance(dt);
+                    fair.advance(dt);
+                    clock += dt.as_secs();
+                    drain(&mut fluid, &mut fair, clock, &mut done_f, &mut done_v);
+                }
+                _ => {}
+            }
+        }
+
+        // Mid-stream progress must already agree.
+        for &(a, b) in &pairs {
+            let (pa, pb) = (fluid.progress(a), fair.progress(b));
+            if let (Some(pa), Some(pb)) = (pa, pb) {
+                prop_assert!(
+                    (pa.transferred - pb.transferred).abs()
+                        <= 1e-6 * pa.transferred.abs().max(1.0) + 1e-3,
+                    "progress diverged: fluid {} vs vt-fair {}",
+                    pa.transferred,
+                    pb.transferred,
+                );
+            }
+        }
+
+        // Resume everything, then run both networks dry: each flow must
+        // complete at the same instant on both media.
+        for &(a, b) in &pairs {
+            fluid.resume_flow(a);
+            fair.resume_flow(b);
+        }
+        drain(&mut fluid, &mut fair, clock, &mut done_f, &mut done_v);
+        let mut guard = 0;
+        while let Some(dt) = fluid.time_to_next_completion() {
+            let dt = dt.max(SimDuration::from_ticks(1));
+            fluid.advance(dt);
+            fair.advance(dt);
+            clock += dt.as_secs();
+            drain(&mut fluid, &mut fair, clock, &mut done_f, &mut done_v);
+            guard += 1;
+            prop_assert!(guard < 10_000, "fluid drain failed to converge");
+        }
+        // Tick rounding may leave the other medium a straggler completion
+        // one tick away; run it dry on the same clock.
+        while let Some(dt) = fair.time_to_next_completion() {
+            let dt = dt.max(SimDuration::from_ticks(1));
+            fair.advance(dt);
+            clock += dt.as_secs();
+            for id in fair.drain_completed() {
+                done_v.insert(id, clock);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "vt-fair drain failed to converge");
+        }
+        for &(a, b) in &pairs {
+            let (ta, tb) = (done_f.get(&a), done_v.get(&b));
+            prop_assert!(ta.is_some() && tb.is_some(),
+                "a flow finished on one medium only: fluid {ta:?}, vt-fair {tb:?}");
+            let (ta, tb) = (ta.unwrap(), tb.unwrap());
+            prop_assert!(
+                (ta - tb).abs() <= 1e-6 * ta.max(*tb) + 1e-5,
+                "completion times diverged: fluid {ta} vs vt-fair {tb}"
+            );
+        }
+    }
+
     /// The proportional-sharing expectation is symmetric, never faster than
     /// running alone, and never slower than full serialization.
     #[test]
