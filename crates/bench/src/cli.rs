@@ -18,7 +18,33 @@
 use crate::experiment::RunOptions;
 use crate::Registry;
 use calciom::Trace;
+use std::fmt;
 use std::process::ExitCode;
+
+/// Why the shared flag parser rejected an argument stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlagError {
+    /// A token starting with `--` that no entry point knows.
+    UnknownFlag(String),
+    /// `--policy` at the end of the stream, or followed by another flag.
+    MissingPolicySpec,
+}
+
+impl fmt::Display for FlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagError::UnknownFlag(flag) => write!(
+                f,
+                "bad flag '{flag}' (expected --quick, --trace, --timeline, --policy <spec>)"
+            ),
+            FlagError::MissingPolicySpec => {
+                write!(f, "--policy needs a <spec> argument, e.g. --policy rr(3s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
 
 /// Entry point of a single-figure binary: runs the named experiment,
 /// honouring the shared flags (`--quick`, `--trace`, `--timeline`).
@@ -30,13 +56,13 @@ pub fn figure_main(name: &str) -> ExitCode {
     run_named(&Registry::standard(), &[name], &opts)
 }
 
-/// [`parse_options`] with the CLI error convention applied: an unknown
-/// flag prints the one canonical message and yields the failure exit
-/// code. Every binary entry point goes through this, so the flag list in
-/// the message has a single home.
+/// [`parse_options`] with the CLI error convention applied: a flag error
+/// prints its canonical message ([`FlagError`]'s `Display`, the single
+/// home of the flag list) and yields the failure exit code. Every binary
+/// entry point goes through this.
 pub fn parse_options_or_fail(args: impl Iterator<Item = String>) -> Result<RunOptions, ExitCode> {
-    parse_options(args).map_err(|unknown| {
-        eprintln!("bad flag '{unknown}' (expected --quick, --trace, --timeline, --policy <spec>)");
+    parse_options(args).map_err(|error| {
+        eprintln!("{error}");
         ExitCode::FAILURE
     })
 }
@@ -44,7 +70,7 @@ pub fn parse_options_or_fail(args: impl Iterator<Item = String>) -> Result<RunOp
 /// Parses the shared flags out of an argument stream. [`parse_args`]
 /// with the leftover tokens discarded — for entry points that take no
 /// positional arguments.
-pub fn parse_options(args: impl Iterator<Item = String>) -> Result<RunOptions, String> {
+pub fn parse_options(args: impl Iterator<Item = String>) -> Result<RunOptions, FlagError> {
     parse_args(args).map(|(opts, _)| opts)
 }
 
@@ -59,7 +85,7 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Result<RunOptions, S
 /// arbitration policies restrict their sweep to the named specs.
 pub fn parse_args(
     mut args: impl Iterator<Item = String>,
-) -> Result<(RunOptions, Vec<String>), String> {
+) -> Result<(RunOptions, Vec<String>), FlagError> {
     let mut opts = RunOptions::default();
     let mut names = Vec::new();
     while let Some(arg) = args.next() {
@@ -69,9 +95,11 @@ pub fn parse_args(
             "--timeline" => opts.timeline = true,
             "--policy" => match args.next() {
                 Some(spec) if !spec.starts_with("--") => opts.policies.push(spec),
-                _ => return Err("--policy (missing <spec> argument)".to_string()),
+                _ => return Err(FlagError::MissingPolicySpec),
             },
-            other if other.starts_with("--") => return Err(other.to_string()),
+            other if other.starts_with("--") => {
+                return Err(FlagError::UnknownFlag(other.to_string()))
+            }
             _ => names.push(arg),
         }
     }
@@ -150,10 +178,8 @@ fn verify_trace(name: &str, label: &str, trace: &Trace) -> bool {
 pub fn all_figures_main() -> ExitCode {
     let (opts, tokens) = match parse_args(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
-        Err(unknown) => {
-            eprintln!(
-                "bad flag '{unknown}' (expected --quick, --trace, --timeline, --policy <spec>)"
-            );
+        Err(error) => {
+            eprintln!("{error}");
             return ExitCode::FAILURE;
         }
     };
@@ -206,7 +232,10 @@ mod tests {
         assert!(quick.quick && !quick.trace && !quick.timeline);
         // A typoed flag fails loudly instead of silently running the full
         // sweep without the requested observation.
-        assert_eq!(parse(&["--trcae"]), Err("--trcae".to_string()));
+        assert_eq!(
+            parse(&["--trcae"]),
+            Err(FlagError::UnknownFlag("--trcae".to_string()))
+        );
     }
 
     #[test]
@@ -230,9 +259,12 @@ mod tests {
         let specs = opts.parsed_policies().unwrap();
         assert_eq!(specs.len(), 2);
         assert_eq!(specs[0].to_text(), "rr(3s)");
-        // …and a missing argument fails loudly.
-        assert!(parse(&["--policy"]).is_err());
-        assert!(parse(&["--policy", "--quick"]).is_err());
+        // …and a missing argument fails loudly, with its own error case.
+        assert_eq!(parse(&["--policy"]), Err(FlagError::MissingPolicySpec));
+        assert_eq!(
+            parse(&["--policy", "--quick"]),
+            Err(FlagError::MissingPolicySpec)
+        );
     }
 
     #[test]

@@ -339,6 +339,7 @@ impl Scenario {
                 Section::Top => &mut top,
                 Section::Policy => &mut policy,
                 Section::Pfs => &mut pfs,
+                // simlint: allow(R4, section only becomes App when a header pushed an entry)
                 Section::App => apps.last_mut().expect("entered [app] section"),
             };
             let key = key.trim().to_string();

@@ -230,7 +230,9 @@ impl Trace {
                 .ok_or(TraceParseError::Malformed { line: lineno + 1 })?;
             let map = match section {
                 Section::Top => &mut top,
+                // simlint: allow(R4, section only becomes App when a header pushed an entry)
                 Section::App => apps.last_mut().expect("entered [app] section"),
+                // simlint: allow(R4, the Events arm continues before reaching the key-value path)
                 Section::Events => unreachable!("handled above"),
             };
             let key = key.trim().to_string();

@@ -55,6 +55,14 @@ impl BaselineCache {
         BaselineCache::default()
     }
 
+    /// Locks the memo table. The single place the lock is acquired — and
+    /// the single justified panic: a poisoned lock means another sweep
+    /// thread died mid-insert, and no baseline answer can be trusted.
+    fn table(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, f64>> {
+        // simlint: allow(R4, poisoned lock means a worker panicked; continuing would serve corrupt baselines)
+        self.map.lock().expect("baseline cache lock")
+    }
+
     /// The process-wide cache shared by the sweep harnesses.
     pub fn global() -> &'static BaselineCache {
         static GLOBAL: OnceLock<BaselineCache> = OnceLock::new();
@@ -67,7 +75,7 @@ impl BaselineCache {
     /// so a cached answer is exactly the answer a fresh run would give.
     pub fn alone_time(&self, app: &AppConfig, pfs: &PfsConfig) -> Result<f64, Error> {
         let key = Self::key(app, pfs);
-        if let Some(&cached) = self.map.lock().expect("baseline cache lock").get(&key) {
+        if let Some(&cached) = self.table().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(cached);
         }
@@ -77,10 +85,7 @@ impl BaselineCache {
         // always insert the same deterministic value.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Session::run_alone(app.clone(), pfs.clone())?;
-        self.map
-            .lock()
-            .expect("baseline cache lock")
-            .insert(key, value);
+        self.table().insert(key, value);
         Ok(value)
     }
 
@@ -96,7 +101,7 @@ impl BaselineCache {
 
     /// Number of distinct `(app, pfs)` pairs cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("baseline cache lock").len()
+        self.table().len()
     }
 
     /// True when nothing has been cached yet.
@@ -106,7 +111,7 @@ impl BaselineCache {
 
     /// Drops every cached baseline (counters are kept).
     pub fn clear(&self) {
-        self.map.lock().expect("baseline cache lock").clear();
+        self.table().clear();
     }
 
     /// The cache key: the *canonical* serialized form of the scenario

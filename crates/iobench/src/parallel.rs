@@ -62,6 +62,7 @@ where
 
     results
         .into_iter()
+        // simlint: allow(R4, scope joins every worker and each worker fills its whole chunk)
         .map(|r| r.expect("worker filled every slot"))
         .collect()
 }
@@ -102,6 +103,7 @@ where
             remaining_results = rest_results;
             scope.spawn(move || {
                 for (slot, item) in result_chunk.iter_mut().zip(item_chunk) {
+                    // simlint: allow(R4, disjoint split_at_mut chunks visit each item exactly once)
                     *slot = Some(f(item.take().expect("each item visited once")));
                 }
             });
@@ -110,6 +112,7 @@ where
 
     results
         .into_iter()
+        // simlint: allow(R4, scope joins every worker and each worker fills its whole chunk)
         .map(|r| r.expect("worker filled every slot"))
         .collect()
 }
@@ -240,7 +243,6 @@ mod tests {
     use calciom::Strategy;
     use mpiio::{AccessPattern, AppConfig};
     use pfs::{AppId, PfsConfig};
-    use std::collections::HashSet;
     use std::sync::Mutex;
 
     #[test]
@@ -319,14 +321,21 @@ mod tests {
         // 4 requested workers, at least two distinct worker threads must
         // participate.
         let scenarios: Vec<Scenario> = scenario_grid().into_iter().chain(scenario_grid()).collect();
-        let seen = Mutex::new(HashSet::new());
+        // A Vec of distinct ids, not a hash set: `ThreadId` is not `Ord`,
+        // and a linear scan over a handful of workers is plenty.
+        let seen: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
         let sessions = scenarios
             .iter()
             .map(Session::<SharedTransport>::with_transport)
             .collect::<Result<Vec<_>, Error>>()
             .unwrap();
         let reports: Result<Vec<_>, Error> = parallel_map_owned(sessions, 4, |session| {
-            seen.lock().unwrap().insert(std::thread::current().id());
+            let id = std::thread::current().id();
+            let mut ids = seen.lock().unwrap();
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+            drop(ids);
             session.execute()
         })
         .into_iter()

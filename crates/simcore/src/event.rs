@@ -15,7 +15,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -59,8 +59,10 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Ids of scheduled events that have been neither popped nor
     /// cancelled. An entry in the heap whose id is absent here is dead and
-    /// is skipped (at the head) or dropped (by compaction).
-    live: HashSet<EventId>,
+    /// is skipped (at the head) or dropped (by compaction). Only membership
+    /// is ever queried, so iteration order cannot leak into the schedule —
+    /// a `BTreeSet` keeps that true by construction (and in R1's scope).
+    live: BTreeSet<EventId>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,7 +77,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: HashSet::new(),
+            live: BTreeSet::new(),
         }
     }
 

@@ -186,6 +186,7 @@ impl Group {
             self.weight = 0.0;
         }
         let bits = cap_ratio.to_bits();
+        // simlint: allow(R4, members only leave with the cap ratio they entered with)
         let n = self.ratios.get_mut(&bits).expect("tracked cap ratio");
         *n -= 1;
         if *n == 0 {
@@ -238,6 +239,33 @@ fn make_id(idx: u32, gen: u32) -> FlowId {
 
 fn split_id(id: FlowId) -> (u32, u32) {
     (id.0 as u32, (id.0 >> 32) as u32)
+}
+
+// Arena access. Every `idx` that reaches these helpers came from
+// `lookup` (which checks the generation against an occupied slot) or from
+// a heap entry validated by `entry_live` — an empty slot here means the
+// arena invariant itself is broken, and no simulation state can be
+// trusted past that point. Funneling all slot access through three
+// helpers keeps that justified panic in exactly one place per access
+// mode. They are free functions (not methods) so callers can keep
+// disjoint borrows of `groups` / `lone` alongside the slot.
+
+/// Mutable access to an occupied arena slot.
+fn live(slot: &mut Option<Slot>) -> &mut Slot {
+    // simlint: allow(R4, arena indices are validated by lookup/entry_live before reaching here)
+    slot.as_mut().expect("live slot")
+}
+
+/// Shared access to an occupied arena slot.
+fn live_ref(slot: &Option<Slot>) -> &Slot {
+    // simlint: allow(R4, arena indices are validated by lookup/entry_live before reaching here)
+    slot.as_ref().expect("live slot")
+}
+
+/// Moves an occupied arena slot out, leaving `None`.
+fn take_live(slot: &mut Option<Slot>) -> Slot {
+    // simlint: allow(R4, arena indices are validated by lookup/entry_live before reaching here)
+    slot.take().expect("live slot")
 }
 
 impl VtFairNetwork {
@@ -390,12 +418,13 @@ impl VtFairNetwork {
     /// group (`O(log n)`: one multiset update; the heap entry dies lazily
     /// via the epoch bump). No-op for inactive flows.
     fn settle_and_leave(&mut self, idx: u32) {
-        let slot = self.slots[idx as usize].as_mut().expect("live slot");
+        let slot = live(&mut self.slots[idx as usize]);
         match slot.residence {
             Residence::Group(g) => {
                 let group = &mut self.groups[g as usize];
                 let dv = (group.virt - slot.settled_v).max(0.0);
                 let moved = (slot.weight * dv).min(slot.remaining);
+                // simlint: allow(R5, moved is clamped to remaining and completion snaps counters exactly)
                 slot.remaining -= moved;
                 slot.transferred += moved;
                 slot.settled_v = group.virt;
@@ -406,6 +435,7 @@ impl VtFairNetwork {
             Residence::Lone => {
                 let dv = (self.lone.virt - slot.settled_v).max(0.0);
                 let moved = (slot.rate_cap * dv).min(slot.remaining);
+                // simlint: allow(R5, moved is clamped to remaining and completion snaps counters exactly)
                 slot.remaining -= moved;
                 slot.transferred += moved;
                 slot.settled_v = self.lone.virt;
@@ -420,7 +450,7 @@ impl VtFairNetwork {
     pub fn remove_flow(&mut self, id: FlowId) -> Option<FlowProgress> {
         let idx = self.lookup(id)?;
         self.settle_and_leave(idx);
-        let slot = self.slots[idx as usize].take().expect("live slot");
+        let slot = take_live(&mut self.slots[idx as usize]);
         self.finished.remove(&id);
         self.starved.remove(&id);
         self.gens[idx as usize] = self.gens[idx as usize].wrapping_add(1);
@@ -440,15 +470,15 @@ impl VtFairNetwork {
         let Some(idx) = self.lookup(id) else {
             return;
         };
-        match self.slots[idx as usize].as_ref().unwrap().residence {
+        match live_ref(&self.slots[idx as usize]).residence {
             Residence::Paused | Residence::Complete => {}
             Residence::Starved => {
                 self.starved.remove(&id);
-                self.slots[idx as usize].as_mut().unwrap().residence = Residence::Paused;
+                live(&mut self.slots[idx as usize]).residence = Residence::Paused;
             }
             Residence::Group(_) | Residence::Lone => {
                 self.settle_and_leave(idx);
-                self.slots[idx as usize].as_mut().unwrap().residence = Residence::Paused;
+                live(&mut self.slots[idx as usize]).residence = Residence::Paused;
             }
         }
     }
@@ -459,10 +489,10 @@ impl VtFairNetwork {
         let Some(idx) = self.lookup(id) else {
             return;
         };
-        if self.slots[idx as usize].as_ref().unwrap().residence != Residence::Paused {
+        if live_ref(&self.slots[idx as usize]).residence != Residence::Paused {
             return;
         }
-        let mut slot = self.slots[idx as usize].take().expect("live slot");
+        let mut slot = take_live(&mut self.slots[idx as usize]);
         if slot.remaining <= completion_threshold(slot.bytes) {
             slot.remaining = 0.0;
             slot.residence = Residence::Complete;
@@ -483,7 +513,7 @@ impl VtFairNetwork {
     pub fn progress(&mut self, id: FlowId) -> Option<FlowProgress> {
         let idx = self.lookup(id)?;
         self.settle_in_place(idx);
-        let slot = self.slots[idx as usize].as_ref().unwrap();
+        let slot = live_ref(&self.slots[idx as usize]);
         Some(FlowProgress {
             remaining: slot.remaining,
             transferred: slot.transferred,
@@ -496,7 +526,7 @@ impl VtFairNetwork {
     fn settle_in_place(&mut self, idx: u32) {
         let lone_virt = self.lone.virt;
         let group_virts: &[Group] = &self.groups;
-        let slot = self.slots[idx as usize].as_mut().expect("live slot");
+        let slot = live(&mut self.slots[idx as usize]);
         let dv_bytes = match slot.residence {
             Residence::Group(g) => {
                 let v = group_virts[g as usize].virt;
@@ -512,6 +542,7 @@ impl VtFairNetwork {
             _ => 0.0,
         };
         let moved = dv_bytes.min(slot.remaining);
+        // simlint: allow(R5, moved is clamped to remaining and completion snaps counters exactly)
         slot.remaining -= moved;
         slot.transferred += moved;
     }
@@ -521,7 +552,7 @@ impl VtFairNetwork {
         let Some(idx) = self.lookup(id) else {
             return false;
         };
-        let slot = self.slots[idx as usize].as_ref().unwrap();
+        let slot = live_ref(&self.slots[idx as usize]);
         let remaining = match slot.residence {
             Residence::Complete => return true,
             Residence::Group(g) => {
@@ -553,7 +584,7 @@ impl VtFairNetwork {
     /// Current rate of a flow in bytes/s.
     pub fn rate(&mut self, id: FlowId) -> f64 {
         match self.lookup(id) {
-            Some(idx) => self.slot_rate(self.slots[idx as usize].as_ref().unwrap()),
+            Some(idx) => self.slot_rate(live_ref(&self.slots[idx as usize])),
             None => 0.0,
         }
     }
@@ -665,7 +696,7 @@ impl VtFairNetwork {
             }
             let virt = self.groups[g].virt;
             let (weight, threshold) = {
-                let s = self.slots[idx as usize].as_ref().unwrap();
+                let s = live_ref(&self.slots[idx as usize]);
                 (s.weight, completion_threshold(s.bytes))
             };
             if (f64::from_bits(bits) - virt) * weight > threshold {
@@ -686,7 +717,7 @@ impl VtFairNetwork {
                 continue;
             }
             let (cap, threshold) = {
-                let s = self.slots[idx as usize].as_ref().unwrap();
+                let s = live_ref(&self.slots[idx as usize]);
                 (s.rate_cap, completion_threshold(s.bytes))
             };
             if (f64::from_bits(bits) - self.lone.virt) * cap > threshold {
@@ -702,7 +733,7 @@ impl VtFairNetwork {
     /// [`VtFairNetwork::drain_completed`].
     fn complete_slot(&mut self, idx: u32) {
         self.settle_and_leave(idx);
-        let slot = self.slots[idx as usize].as_mut().expect("live slot");
+        let slot = live(&mut self.slots[idx as usize]);
         slot.transferred = slot.bytes;
         slot.remaining = 0.0;
         slot.residence = Residence::Complete;

@@ -331,6 +331,7 @@ impl FluidNetwork {
                 continue;
             }
             let moved = (f.rate * secs).min(f.remaining);
+            // simlint: allow(R5, moved is clamped to remaining and the threshold below snaps completion exactly)
             f.remaining -= moved;
             f.transferred += moved;
             // The relative slack snaps a flow complete when per-step f64
@@ -501,6 +502,7 @@ impl FluidNetwork {
         }
         let rates = Self::solve(&self.capacities, &self.flows, &subset);
         for (id, rate) in subset.iter().zip(rates) {
+            // simlint: allow(R4, collect_component only returns ids present in the flow map)
             self.flows.get_mut(id).expect("component flow exists").rate = rate;
         }
     }

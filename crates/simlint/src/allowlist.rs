@@ -1,0 +1,132 @@
+//! The allowlist file: workspace-level suppressions.
+//!
+//! Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! # rule        path-prefix          reason…
+//! R4            crates/bench/src/    experiment drivers may abort a figure run
+//! unchecked-panic crates/foo/src/bar.rs generated code
+//! ```
+//!
+//! An entry suppresses every finding of its rule whose file path starts
+//! with the given prefix. The reason is mandatory — an entry without one
+//! is a parse error, for the same reason inline allows require one.
+
+use crate::error::LintError;
+use crate::rules::rule_by_ref;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Canonical rule id (`R4`), resolved from id or name.
+    pub rule_id: &'static str,
+    /// Path prefix the entry covers (workspace-relative, `/` separators).
+    pub path_prefix: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// 1-based line in the allowlist file (for error reporting).
+    pub line: u32,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format. `source_name` labels parse errors.
+    pub fn parse(text: &str, source_name: &str) -> Result<Allowlist, LintError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule_ref = parts.next().unwrap_or_default();
+            let prefix = parts.next().unwrap_or_default().trim();
+            let reason = parts.next().unwrap_or_default().trim();
+            let Some(rule) = rule_by_ref(rule_ref) else {
+                return Err(LintError::Allowlist {
+                    file: source_name.to_string(),
+                    line: line_no,
+                    problem: format!("unknown rule `{rule_ref}`"),
+                });
+            };
+            if prefix.is_empty() {
+                return Err(LintError::Allowlist {
+                    file: source_name.to_string(),
+                    line: line_no,
+                    problem: "missing path prefix".to_string(),
+                });
+            }
+            if reason.is_empty() {
+                return Err(LintError::Allowlist {
+                    file: source_name.to_string(),
+                    line: line_no,
+                    problem: "missing reason (allows must be justified)".to_string(),
+                });
+            }
+            entries.push(AllowEntry {
+                rule_id: rule.id,
+                path_prefix: prefix.to_string(),
+                reason: reason.to_string(),
+                line: line_no,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// True when an entry covers `(rule_id, file)`.
+    pub fn covers(&self, rule_id: &str, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule_id == rule_id && file.starts_with(&e.path_prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches_prefixes() {
+        let text = "\
+# drivers may abort
+R4 crates/bench/src/ experiment drivers abort the figure run, not a simulation
+unchecked-panic crates/foo/src/gen.rs generated code
+";
+        let list = Allowlist::parse(text, "simlint.allow").unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[1].rule_id, "R4");
+        assert!(list.covers("R4", "crates/bench/src/figures/fig01.rs"));
+        assert!(list.covers("R4", "crates/foo/src/gen.rs"));
+        assert!(!list.covers("R4", "crates/core/src/session.rs"));
+        assert!(!list.covers("R1", "crates/bench/src/lib.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_missing_reasons() {
+        assert!(matches!(
+            Allowlist::parse("R99 crates/x/ because", "f"),
+            Err(LintError::Allowlist { line: 1, .. })
+        ));
+        assert!(matches!(
+            Allowlist::parse("R4 crates/x/", "f"),
+            Err(LintError::Allowlist { .. })
+        ));
+        assert!(matches!(
+            Allowlist::parse("R4", "f"),
+            Err(LintError::Allowlist { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let list = Allowlist::parse("\n# only comments\n\n", "f").unwrap();
+        assert!(list.entries.is_empty());
+    }
+}

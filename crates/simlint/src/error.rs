@@ -1,0 +1,82 @@
+//! Typed errors for the linter itself (simlint is subject to its own R3).
+
+use std::fmt;
+
+/// Everything that can go wrong while running the linter (findings are
+/// not errors — they are the product).
+#[derive(Debug)]
+pub enum LintError {
+    /// A file or directory could not be read.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// No workspace root (a `Cargo.toml` containing `[workspace]`) was
+    /// found above the starting directory.
+    WorkspaceNotFound {
+        /// Where the upward search started.
+        start: String,
+    },
+    /// The allowlist file does not parse.
+    Allowlist {
+        /// The allowlist file.
+        file: String,
+        /// 1-based line of the offending entry.
+        line: u32,
+        /// What is wrong with it.
+        problem: String,
+    },
+    /// Bad command-line usage.
+    Usage(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "io error on {path}: {source}"),
+            LintError::WorkspaceNotFound { start } => write!(
+                f,
+                "no workspace root found above {start} (looked for a Cargo.toml with [workspace])"
+            ),
+            LintError::Allowlist {
+                file,
+                line,
+                problem,
+            } => write!(f, "{file}:{line}: bad allowlist entry: {problem}"),
+            LintError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LintError::Allowlist {
+            file: "simlint.allow".to_string(),
+            line: 3,
+            problem: "missing reason".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "simlint.allow:3: bad allowlist entry: missing reason"
+        );
+        let e = LintError::WorkspaceNotFound {
+            start: "/tmp".to_string(),
+        };
+        assert!(e.to_string().contains("/tmp"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Findings: what a rule reports, and how reports are rendered.
+
+use std::fmt::Write as _;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `R1`.
+    pub rule: &'static str,
+    /// Rule name, e.g. `nondeterministic-collections`.
+    pub name: &'static str,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// How a raw finding was disposed of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Reported: fails the run.
+    Active,
+    /// Suppressed by an inline `// simlint: allow(…)` annotation.
+    AllowedInline,
+    /// Suppressed by an allowlist-file entry.
+    AllowedByFile,
+}
+
+/// The complete outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that fail the run, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by inline annotations or the allowlist file.
+    pub suppressed: Vec<(Finding, Disposition)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Rules that ran.
+    pub rules: Vec<(&'static str, &'static str)>,
+}
+
+impl Report {
+    /// True when the run is clean (no active findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: {}({}) {}",
+                f.file, f.line, f.rule, f.name, f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "simlint: {} finding{} ({} suppressed by allows) across {} files",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressed.len(),
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Renders the machine-readable report (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_finding(&mut out, f, None);
+        }
+        out.push_str("\n  ],\n  \"suppressed\": [");
+        for (i, (f, d)) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_finding(&mut out, f, Some(*d));
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+fn write_finding(out: &mut String, f: &Finding, disposition: Option<Disposition>) {
+    let _ = write!(
+        out,
+        "{{\"rule\": {}, \"name\": {}, \"file\": {}, \"line\": {}, \"message\": {}",
+        json_str(f.rule),
+        json_str(f.name),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.message)
+    );
+    if let Some(d) = disposition {
+        let label = match d {
+            Disposition::Active => "active",
+            Disposition::AllowedInline => "inline-allow",
+            Disposition::AllowedByFile => "allowlist",
+        };
+        let _ = write!(out, ", \"suppressed_by\": {}", json_str(label));
+    }
+    out.push('}');
+}
+
+/// Minimal JSON string escaping (the only JSON this tool emits).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "R1",
+            name: "nondeterministic-collections",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "said \"hello\"\tand left".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_report_lists_findings_and_summary() {
+        let mut r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        r.findings.push(finding());
+        let text = r.to_text();
+        assert!(text.contains("crates/x/src/lib.rs:7: R1(nondeterministic-collections)"));
+        assert!(text.contains("1 finding (0 suppressed by allows) across 3 files"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut r = Report::default();
+        r.findings.push(finding());
+        let json = r.to_json();
+        assert!(json.contains(r#"said \"hello\"\tand left"#));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let r = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"clean\": true"));
+    }
+}

@@ -1,0 +1,625 @@
+//! A lightweight Rust lexer: just enough tokenization for invariant
+//! linting.
+//!
+//! The output is a flat list of [`Tok`]ens carrying their source line.
+//! Comments, string/char literal *contents*, and doc examples never
+//! produce tokens, so a rule that matches the ident `unwrap` cannot be
+//! fooled by `// .unwrap()` in prose or by `"unwrap"` in a message.
+//!
+//! Two side channels come out of the same pass:
+//!
+//! * **allow annotations** — `// simlint: allow(RULE, reason)` comments
+//!   are parsed into [`AllowAnnotation`]s and resolved to the line of
+//!   code they cover (the same line for a trailing comment, the next
+//!   code line for a standalone one);
+//! * **test regions** — `#[cfg(test)]` / `#[test]` attributed items are
+//!   tracked so rules can skip test code; [`Lexed::is_test_line`]
+//!   answers per line.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A literal (number, string, char, byte string). String-ish literals
+    /// keep only a placeholder text, never their contents.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so `'static` is not a char).
+    Lifetime,
+    /// Punctuation. Multi-character operators that matter for parsing
+    /// (`->`, `=>`, `+=`, `-=`) are fused into one token; everything else
+    /// is a single character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text (`"unwrap"`, `"::"` is two `:` tokens, `"+="` one).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Lexeme class.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `// simlint: allow(RULE, reason)` annotation, resolved to the code
+/// line it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowAnnotation {
+    /// Rule id (`R4`) or rule name (`unchecked-panic`) as written.
+    pub rule: String,
+    /// Free-text justification (may be empty — rules reject that).
+    pub reason: String,
+    /// Line of the comment itself.
+    pub comment_line: u32,
+    /// Code line the annotation covers.
+    pub target_line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Tok>,
+    /// All well-formed allow annotations, resolved to target lines.
+    pub allows: Vec<AllowAnnotation>,
+    /// Comments that look like simlint annotations but do not parse
+    /// (reported as findings so a typo cannot silently disable a rule).
+    pub malformed_allows: Vec<(u32, String)>,
+    /// Sorted, disjoint (start, end) inclusive line ranges of test code
+    /// (`#[cfg(test)]` modules, `#[test]` functions).
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// The allow annotations covering `line`, if any.
+    pub fn allows_for(&self, line: u32) -> impl Iterator<Item = &AllowAnnotation> {
+        self.allows.iter().filter(move |a| a.target_line == line)
+    }
+}
+
+/// Pending annotation whose target line is the next code line.
+struct PendingAllow {
+    rule: String,
+    reason: String,
+    comment_line: u32,
+    /// True when tokens were already emitted on the comment's own line
+    /// (trailing comment): the target is that same line.
+    trailing: bool,
+}
+
+/// Lexes Rust source. Never fails: unterminated constructs simply end the
+/// token stream (rules then see a truncated but well-formed prefix).
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut pending: Vec<PendingAllow> = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Resolves pending standalone annotations once a code token appears.
+    fn flush_pending(pending: &mut Vec<PendingAllow>, out: &mut Lexed, code_line: u32) {
+        for p in pending.drain(..) {
+            let target = if p.trailing {
+                p.comment_line
+            } else {
+                code_line
+            };
+            out.allows.push(AllowAnnotation {
+                rule: p.rule,
+                reason: p.reason,
+                comment_line: p.comment_line,
+                target_line: target,
+            });
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): scan to end of line,
+                // harvesting a possible simlint annotation.
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let trailing = out.tokens.last().is_some_and(|t| t.line == line);
+                harvest_annotation(&text, line, trailing, &mut pending, &mut out);
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                // Block comment, nesting as in Rust.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && bytes.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && bytes.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                flush_pending(&mut pending, &mut out, line);
+                let start_line = line;
+                i = skip_string(&bytes, i, &mut line);
+                out.tokens.push(Tok {
+                    text: "\"…\"".to_string(),
+                    line: start_line,
+                    kind: TokKind::Literal,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
+                flush_pending(&mut pending, &mut out, line);
+                let start_line = line;
+                i = skip_raw_or_byte_string(&bytes, i, &mut line);
+                out.tokens.push(Tok {
+                    text: "\"…\"".to_string(),
+                    line: start_line,
+                    kind: TokKind::Literal,
+                });
+            }
+            '\'' => {
+                flush_pending(&mut pending, &mut out, line);
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a lifetime is `'` + ident not closed by `'`.
+                if bytes
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_alphabetic() || *c == '_')
+                {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'\'') {
+                        // Char literal like 'a'.
+                        out.tokens.push(Tok {
+                            text: "'…'".to_string(),
+                            line,
+                            kind: TokKind::Literal,
+                        });
+                        i = j + 1;
+                    } else {
+                        let text: String = bytes[i..j].iter().collect();
+                        out.tokens.push(Tok {
+                            text,
+                            line,
+                            kind: TokKind::Lifetime,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: 'x', '\n', '\''.
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&'\\') {
+                        j += 2; // skip the escaped character
+                    } else {
+                        j += 1;
+                    }
+                    while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        text: "'…'".to_string(),
+                        line,
+                        kind: TokKind::Literal,
+                    });
+                    i = (j + 1).min(bytes.len());
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                flush_pending(&mut pending, &mut out, line);
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                out.tokens.push(Tok {
+                    text,
+                    line,
+                    kind: TokKind::Ident,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                flush_pending(&mut pending, &mut out, line);
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // `1.5`, but not the `.` of `1.method()` or `1..2`.
+                        j += 1;
+                    } else if (d == '+' || d == '-')
+                        && matches!(bytes.get(j.wrapping_sub(1)), Some('e') | Some('E'))
+                    {
+                        // exponent sign: 1e-6
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[i..j].iter().collect();
+                out.tokens.push(Tok {
+                    text,
+                    line,
+                    kind: TokKind::Literal,
+                });
+                i = j;
+            }
+            _ => {
+                flush_pending(&mut pending, &mut out, line);
+                // Fuse the few multi-char operators parsing cares about:
+                // `->` / `=>` (so `>` depth tracking works inside generics)
+                // and `+=` / `-=` (rule R5 matches them as one token).
+                let two: Option<&str> = match (c, bytes.get(i + 1)) {
+                    ('-', Some('>')) => Some("->"),
+                    ('=', Some('>')) => Some("=>"),
+                    ('+', Some('=')) => Some("+="),
+                    ('-', Some('=')) => Some("-="),
+                    _ => None,
+                };
+                if let Some(op) = two {
+                    out.tokens.push(Tok {
+                        text: op.to_string(),
+                        line,
+                        kind: TokKind::Punct,
+                    });
+                    i += 2;
+                } else {
+                    out.tokens.push(Tok {
+                        text: c.to_string(),
+                        line,
+                        kind: TokKind::Punct,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Standalone annotations at EOF cover nothing; resolve them to their
+    // own line so they at least show up deterministically.
+    flush_pending(&mut pending, &mut out, line);
+
+    out.test_ranges = find_test_ranges(&out.tokens);
+    out
+}
+
+/// Parses a line comment body for a simlint annotation and records it.
+fn harvest_annotation(
+    comment: &str,
+    line: u32,
+    trailing: bool,
+    pending: &mut Vec<PendingAllow>,
+    out: &mut Lexed,
+) {
+    // Doc comments start with an extra `/` or `!`; strip before matching.
+    let body = comment.trim_start_matches(['/', '!']).trim();
+    let Some(rest) = body.strip_prefix("simlint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let parsed = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+        .and_then(|inner| {
+            let (rule, reason) = inner.split_once(',')?;
+            let rule = rule.trim();
+            let reason = reason.trim();
+            if rule.is_empty() {
+                return None;
+            }
+            Some((rule.to_string(), reason.to_string()))
+        });
+    match parsed {
+        Some((rule, reason)) => pending.push(PendingAllow {
+            rule,
+            reason,
+            comment_line: line,
+            trailing,
+        }),
+        None => out.malformed_allows.push((line, body.to_string())),
+    }
+}
+
+fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    // r"…", r#"…"#, br"…", b"…", br#"…"#
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+        while bytes.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&'"');
+    }
+    bytes[i] == 'b' && bytes.get(j) == Some(&'"')
+}
+
+fn skip_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(bytes[i], '"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_or_byte_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == 'b' {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&'r') {
+        // Plain byte string b"…": same escape rules as a normal string.
+        return skip_string(bytes, i, line);
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&'"') {
+        return i;
+    }
+    i += 1;
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Computes the line ranges covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// An attribute is a test marker when its first ident is `test`, or its
+/// first ident is `cfg` and `test` appears among its tokens (covers
+/// `#[cfg(test)]` and `#[cfg(all(test, …))]`). The marked item's region
+/// runs from the attribute to the matching `}` of the first `{` that
+/// follows it (or to the terminating `;` for item declarations).
+fn find_test_ranges(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            // Collect the attribute tokens up to the matching `]`.
+            let attr_start = i;
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let attr = &tokens[i + 2..j.min(tokens.len())];
+            let first = attr.first();
+            let is_test_attr = match first {
+                Some(t) if t.is_ident("test") => true,
+                Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+                _ => false,
+            };
+            if is_test_attr {
+                // Find the item's body: first `{` after the attribute
+                // (skipping nested attributes), matched to its `}`.
+                let mut k = j + 1;
+                let mut brace = 0i32;
+                let mut opened = false;
+                while k < tokens.len() {
+                    if tokens[k].is_punct("{") {
+                        brace += 1;
+                        opened = true;
+                    } else if tokens[k].is_punct("}") {
+                        brace -= 1;
+                        if opened && brace == 0 {
+                            break;
+                        }
+                    } else if tokens[k].is_punct(";") && !opened {
+                        break; // `#[cfg(test)] mod tests;` — no inline body
+                    }
+                    k += 1;
+                }
+                let end_line = tokens
+                    .get(k.min(tokens.len().saturating_sub(1)))
+                    .map(|t| t.line)
+                    .unwrap_or(u32::MAX);
+                ranges.push((tokens[attr_start].line, end_line));
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* SystemTime in /* nested */ block */
+            let s = "Instant::now() in a string";
+            let r = r#"HashSet in a raw "string""#;
+            let c = 'x';
+            let esc = '\'';
+            fn real() {}
+        "##;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "c", "let", "esc", "fn", "real"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { x }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        // And the idents after the lifetimes are still seen.
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn compound_operators_are_fused() {
+        let toks = lex("a += 1; b -= 2; fn f() -> u8 { match x { _ => 0 } }").tokens;
+        assert!(toks.iter().any(|t| t.is_punct("+=")));
+        assert!(toks.iter().any(|t| t.is_punct("-=")));
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+        assert!(toks.iter().any(|t| t.is_punct("=>")));
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_floats_lex_as_one_literal() {
+        let toks = lex("let x = 1.5e-6 + 0xFF + 1_000.25;").tokens;
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["1.5e-6", "0xFF", "1_000.25"]);
+        // `1.0.min(x)` keeps the method call separate.
+        let toks = lex("let y = 1.0.min(z);").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("min")));
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "let a = 1; // simlint: allow(R4, known safe)\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.rule, "R4");
+        assert_eq!(a.reason, "known safe");
+        assert_eq!(a.target_line, 1);
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "// simlint: allow(wall-clock, timing a host benchmark)\n\nlet t = now();";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn malformed_allow_is_reported() {
+        let lexed = lex("// simlint: allow(R4)\nlet x = 1;");
+        assert!(lexed.allows.is_empty());
+        assert_eq!(lexed.malformed_allows.len(), 1);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules_and_test_fns() {
+        let src = "\
+fn lib() {}                  // 1
+#[cfg(test)]                 // 2
+mod tests {                  // 3
+    use super::*;            // 4
+    #[test]                  // 5
+    fn t() { lib(); }        // 6
+}                            // 7
+fn lib2() {}                 // 8
+#[test]
+fn top_level_test() {
+}";
+        let lexed = lex(src);
+        assert!(!lexed.is_test_line(1));
+        assert!(lexed.is_test_line(4));
+        assert!(lexed.is_test_line(6));
+        assert!(!lexed.is_test_line(8));
+        assert!(lexed.is_test_line(10));
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_open_regions() {
+        let src = "#[derive(Debug)]\nstruct S { x: u8 }\nfn f() {}";
+        let lexed = lex(src);
+        assert!(!lexed.is_test_line(2));
+        assert!(!lexed.is_test_line(3));
+    }
+}

@@ -1,0 +1,310 @@
+//! `simlint` — a workspace invariant checker for the CALCioM stack.
+//!
+//! Every guarantee this reproduction rests on — bit-identical golden
+//! traces, byte-identical codecs, cross-thread reproducibility — is
+//! enforced dynamically by tests that compare hashes *after* a
+//! divergence has happened. `simlint` rejects the code patterns that
+//! cause those divergences statically, before they compile into a flaky
+//! trace: nondeterministic iteration, wall-clock reads under simulated
+//! time, stringly-typed errors, unchecked panics, drift-prone float
+//! accumulation, event variants missing from the codec, and unseeded
+//! randomness. See [`rules`] for the rule table.
+//!
+//! The tool is dependency-free by design: a hand-rolled [`lexer`]
+//! produces a token stream (comments and string contents never reach the
+//! rules), and each rule is a token-walker. Findings can be suppressed
+//! two ways, both requiring a written justification:
+//!
+//! * inline, on or directly above the offending line:
+//!   `// simlint: allow(R4, reason)`;
+//! * workspace-wide, via an [`allowlist`] file (`simlint.allow`).
+//!
+//! Run `cargo run -p simlint -- --workspace` for the human report, add
+//! `--json` for the CI artifact.
+
+pub mod allowlist;
+pub mod error;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+use crate::allowlist::Allowlist;
+use crate::error::LintError;
+use crate::findings::{Disposition, Finding, Report};
+use crate::lexer::Lexed;
+use crate::rules::{check_event_coverage, rule_by_ref, EventCoverageConfig, FileInput, RULES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Pseudo-rule id for broken suppression machinery (malformed or
+/// unjustified annotations). Not suppressible — fix the annotation.
+pub const ANNOTATION_RULE_ID: &str = "R0";
+/// Pseudo-rule name matching [`ANNOTATION_RULE_ID`].
+pub const ANNOTATION_RULE_NAME: &str = "bad-annotation";
+
+/// Lints one source text as if it lived at `path` in crate `crate_name`,
+/// returning the *resolved* findings (inline allows applied, no
+/// allowlist). This is the entry point the fixture tests drive.
+pub fn lint_source(path: &str, crate_name: &str, source: &str) -> Vec<Finding> {
+    let input = FileInput {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        lexed: lexer::lex(source),
+    };
+    let raw = rules::scan_file(&input);
+    let mut report = Report::default();
+    resolve(raw, &input.lexed, &input.path, None, &mut report);
+    report.findings
+}
+
+/// Applies inline allows and the allowlist to raw findings, splitting
+/// them into active and suppressed, and reports annotation hygiene
+/// problems (malformed annotations, unknown rules, empty reasons).
+fn resolve(
+    raw: Vec<Finding>,
+    lexed: &Lexed,
+    path: &str,
+    allowlist: Option<&Allowlist>,
+    report: &mut Report,
+) {
+    for f in raw {
+        let inline = lexed
+            .allows_for(f.line)
+            .find(|a| a.rule == f.rule || a.rule == f.name);
+        match inline {
+            Some(a) if !a.reason.is_empty() => {
+                report.suppressed.push((f, Disposition::AllowedInline));
+            }
+            _ => {
+                if allowlist.is_some_and(|l| l.covers(f.rule, path)) {
+                    report.suppressed.push((f, Disposition::AllowedByFile));
+                } else {
+                    report.findings.push(f);
+                }
+            }
+        }
+    }
+    for (line, text) in &lexed.malformed_allows {
+        report.findings.push(Finding {
+            rule: ANNOTATION_RULE_ID,
+            name: ANNOTATION_RULE_NAME,
+            file: path.to_string(),
+            line: *line,
+            message: format!(
+                "malformed simlint annotation `{text}`; expected \
+                 `simlint: allow(RULE, reason)` with a non-empty reason"
+            ),
+        });
+    }
+    for a in &lexed.allows {
+        if rule_by_ref(&a.rule).is_none() {
+            report.findings.push(Finding {
+                rule: ANNOTATION_RULE_ID,
+                name: ANNOTATION_RULE_NAME,
+                file: path.to_string(),
+                line: a.comment_line,
+                message: format!("allow annotation references unknown rule `{}`", a.rule),
+            });
+        } else if a.reason.is_empty() {
+            report.findings.push(Finding {
+                rule: ANNOTATION_RULE_ID,
+                name: ANNOTATION_RULE_NAME,
+                file: path.to_string(),
+                line: a.comment_line,
+                message: "allow annotation has an empty reason; allows must be justified"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` section.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|source| LintError::Io {
+                path: manifest.display().to_string(),
+                source,
+            })?;
+            if text.contains("[workspace]") {
+                return Ok(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(LintError::WorkspaceNotFound {
+        start: start.display().to_string(),
+    })
+}
+
+/// The scan set of a workspace: every `.rs` under `crates/<crate>/src`
+/// plus the umbrella crate's own `src/`, as sorted
+/// `(relative_path, crate_name)` pairs. `vendor/` (stand-in
+/// dependencies) and `target/` are never scanned.
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, String)>, LintError> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            let src = entry.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let crate_name = entry
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            collect_rs(root, &src, &crate_name, &mut files)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(root, &root_src, "calciom-stack", &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = std::fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.display().to_string(),
+        source,
+    })?;
+    let mut entries = Vec::new();
+    for e in rd {
+        let e = e.map_err(|source| LintError::Io {
+            path: dir.display().to_string(),
+            source,
+        })?;
+        entries.push(e.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, String)>,
+) -> Result<(), LintError> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs(root, &path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, crate_name.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// Lints a whole workspace: per-file rules over the scan set, the
+/// workspace-level event-coverage rule, and allow resolution against
+/// `allowlist`.
+pub fn lint_workspace(root: &Path, allowlist: Option<&Allowlist>) -> Result<Report, LintError> {
+    let mut report = Report {
+        rules: RULES.iter().map(|r| (r.id, r.name)).collect(),
+        ..Report::default()
+    };
+    let mut lexed_files: BTreeMap<String, Lexed> = BTreeMap::new();
+
+    for (rel, crate_name) in workspace_files(root)? {
+        let abs = root.join(&rel);
+        let source = std::fs::read_to_string(&abs).map_err(|source| LintError::Io {
+            path: abs.display().to_string(),
+            source,
+        })?;
+        let input = FileInput {
+            path: rel.clone(),
+            crate_name,
+            lexed: lexer::lex(&source),
+        };
+        let raw = rules::scan_file(&input);
+        resolve(raw, &input.lexed, &rel, allowlist, &mut report);
+        lexed_files.insert(rel, input.lexed);
+        report.files_scanned += 1;
+    }
+
+    // R6 is workspace-level: it needs the enum definition and the codec
+    // files together. Its findings go through the allowlist too (inline
+    // allows make no sense for a cross-file property).
+    let coverage = EventCoverageConfig::workspace_default();
+    for f in check_event_coverage(&coverage, &lexed_files) {
+        if allowlist.is_some_and(|l| l.covers(f.rule, &f.file)) {
+            report.suppressed.push((f, Disposition::AllowedByFile));
+        } else {
+            report.findings.push(f);
+        }
+    }
+
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .partial_cmp(&(&b.file, b.line, b.rule))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(report)
+}
+
+/// Loads the allowlist next to the workspace root (`simlint.allow`), if
+/// present.
+pub fn load_default_allowlist(root: &Path) -> Result<Option<Allowlist>, LintError> {
+    let path = root.join("simlint.allow");
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path).map_err(|source| LintError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    Allowlist::parse(&text, &path.display().to_string()).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_allow_suppresses_matching_rule_only() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // simlint: allow(R4, checked by caller)
+}
+fn g(x: Option<u32>) -> u32 {
+    x.unwrap() // simlint: allow(R1, wrong rule)
+}";
+        let found = lint_source("crates/core/src/x.rs", "core", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn allow_by_name_also_works() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // simlint: allow(unchecked-panic, infallible by construction)\n    x.unwrap()\n}";
+        assert!(lint_source("crates/core/src/x.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn empty_reason_does_not_suppress_and_is_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() // simlint: allow(R4, )\n}";
+        let found = lint_source("crates/core/src/x.rs", "core", src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().any(|f| f.rule == "R4"));
+        assert!(found.iter().any(|f| f.rule == ANNOTATION_RULE_ID));
+    }
+
+    #[test]
+    fn unknown_rule_in_annotation_is_flagged() {
+        let src = "// simlint: allow(R42, nope)\nfn f() {}";
+        let found = lint_source("crates/core/src/x.rs", "core", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, ANNOTATION_RULE_ID);
+    }
+}

@@ -1,0 +1,125 @@
+//! Command-line front-end for the workspace invariant checker.
+//!
+//! ```text
+//! simlint [--workspace] [--root DIR] [--allowlist FILE] [--json] [--rules]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = active findings, 2 = usage or I/O error.
+
+use simlint::allowlist::Allowlist;
+use simlint::error::LintError;
+use simlint::rules::RULES;
+use simlint::{find_workspace_root, lint_workspace, load_default_allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, LintError> {
+    let mut opts = Options {
+        root: None,
+        allowlist: None,
+        json: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // --workspace is the only (and default) scan mode; accepted
+            // so the CI invocation is self-describing.
+            "--workspace" => {}
+            "--json" => opts.json = true,
+            "--rules" => opts.list_rules = true,
+            "--root" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--root needs a directory".to_string()))?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--allowlist" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--allowlist needs a file".to_string()))?;
+                opts.allowlist = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                opts.list_rules = true;
+            }
+            other => {
+                return Err(LintError::Usage(format!(
+                    "unrecognized argument `{other}` (see --help)"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "\
+simlint — static invariant checker for the CALCioM workspace
+
+USAGE:
+    simlint [--workspace] [--root DIR] [--allowlist FILE] [--json] [--rules]
+
+OPTIONS:
+    --workspace        Scan the whole workspace (the default and only mode)
+    --root DIR         Start the workspace-root search from DIR (default: cwd)
+    --allowlist FILE   Allowlist file (default: <root>/simlint.allow if present)
+    --json             Emit the machine-readable report instead of text
+    --rules            List the rules and exit
+";
+
+fn run(opts: &Options) -> Result<ExitCode, LintError> {
+    if opts.list_rules {
+        for r in &RULES {
+            println!("{:<4} {:<32} {}", r.id, r.name, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let start = match &opts.root {
+        Some(dir) => dir.clone(),
+        None => std::env::current_dir().map_err(|source| LintError::Io {
+            path: ".".to_string(),
+            source,
+        })?,
+    };
+    let root = find_workspace_root(&start)?;
+    let allowlist: Option<Allowlist> = match &opts.allowlist {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|source| LintError::Io {
+                path: path.display().to_string(),
+                source,
+            })?;
+            Some(Allowlist::parse(&text, &path.display().to_string())?)
+        }
+        None => load_default_allowlist(&root)?,
+    };
+    let report = lint_workspace(&root, allowlist.as_ref())?;
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|opts| run(&opts)) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

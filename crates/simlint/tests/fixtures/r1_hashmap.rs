@@ -1,0 +1,16 @@
+// Fixture: R1 must fire on hash collections in an order-sensitive crate.
+// Linted as crates/simcore/src/bad.rs. Expected findings are marked with
+// trailing tilde-comments read by the fixture test.
+use std::collections::HashMap; //~ R1
+
+pub struct Registry {
+    by_name: HashMap<String, u32>, //~ R1
+}
+
+impl Registry {
+    pub fn total(&self) -> u32 {
+        // Iteration order leaks straight into any accumulated float or
+        // emitted event sequence.
+        self.by_name.values().sum()
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: R2 must fire on wall-clock reads in a simulated-time crate.
+// Linted as crates/core/src/bad.rs.
+use std::time::Instant; //~ R2
+
+pub fn measure() -> f64 {
+    let start = Instant::now(); //~ R2
+    let t = std::time::SystemTime::now(); //~ R2
+    let _ = t;
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,15 @@
+// Fixture: R3 must fire on stringly-typed error returns in any crate.
+// Linted as crates/workloads/src/bad.rs.
+
+pub fn parse(input: &str) -> Result<u32, String> { //~ R3
+    input.parse().map_err(|_| "bad".to_string())
+}
+
+pub fn qualified(input: &str) -> Result<u32, std::string::String> { //~ R3
+    parse(input)
+}
+
+// Not a finding: a typed error enum.
+pub fn fine(input: &str) -> Result<u32, std::num::ParseIntError> {
+    input.parse()
+}

@@ -1,0 +1,28 @@
+// Fixture: R4 must fire on unchecked panics in non-test library code and
+// stay quiet inside #[cfg(test)]. Linted as crates/pfs/src/bad.rs.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ R4
+}
+
+pub fn pick(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("has two elements") //~ R4
+}
+
+pub fn boom() {
+    panic!("library code must not panic"); //~ R4
+}
+
+pub fn fine(xs: &[u32]) -> u32 {
+    // unwrap_or and friends are checked handling, not panics.
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: R5 must fire on bare float accumulation into remaining/residual
+// counters in simcore. Linted as crates/simcore/src/bad.rs.
+
+pub struct Flow {
+    pub remaining: f64,
+    pub residual_bytes: f64,
+}
+
+impl Flow {
+    pub fn advance(&mut self, moved: f64) {
+        self.remaining -= moved; //~ R5
+        self.residual_bytes += moved; //~ R5
+    }
+}

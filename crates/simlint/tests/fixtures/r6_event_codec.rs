@@ -1,0 +1,9 @@
+// Fixture: the codec half of the R6 pair — mentions Started, omits
+// Finished.
+
+pub fn encode(event: &super::SimEvent) -> String {
+    match event {
+        SimEvent::Started { app } => format!("started {app}"),
+        _ => String::new(),
+    }
+}

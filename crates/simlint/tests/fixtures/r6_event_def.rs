@@ -1,0 +1,8 @@
+// Fixture: the event-enum definition half of the R6 pair. The codec
+// fixture (r6_event_codec.rs) covers the first variant but omits the
+// second, so R6 must report exactly one missing variant.
+
+pub enum SimEvent {
+    Started { app: u32 },
+    Finished { app: u32, bytes: f64 },
+}

@@ -1,0 +1,19 @@
+// Fixture: R7 must fire on unseeded randomness anywhere, tests included.
+// Linted as crates/workloads/src/bad.rs.
+
+pub fn jitter() -> f64 {
+    rand::random::<f64>() //~ R7
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::thread_rng; //~ R7
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeded_is_fine() {
+        // from_seed / seed_from_u64 are the reproducible constructors.
+        let _rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let _bad = thread_rng(); //~ R7
+    }
+}
