@@ -1,0 +1,228 @@
+//! Closed-loop throughput benchmark for `calciom-serve`.
+//!
+//! Boots the HTTP service in-process on an ephemeral port, then drives
+//! it with N client threads × M requests each, every request POSTing
+//! the same seeded [`MachineMix`] scenario to `/v1/run`. Closed loop:
+//! each client issues its next request only after the previous response
+//! arrives, so the measured rate is end-to-end service throughput
+//! (parse → simulate/cache → serialize → TCP), not raw socket churn.
+//!
+//! Prints human-readable lines plus a `note: serve-json: {...}` line CI
+//! extracts into the `BENCH_serve.json` artifact.
+//!
+//! `--print-scenario` instead writes the scenario document to stdout —
+//! the CI smoke step uses it to produce a request body for `curl`.
+
+use serve::{client, start, BufferLog, ServeConfig};
+use std::fmt;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::MachineMix;
+
+/// Argument errors for this binary's flag vocabulary (distinct from the
+/// figure binaries' `cli::FlagError`).
+#[derive(Debug)]
+enum ArgError {
+    /// A flag that takes a value appeared at the end of the stream.
+    MissingValue(&'static str),
+    /// A value that should have been a number.
+    NotANumber(String),
+    /// A flag no entry point knows.
+    UnknownFlag(String),
+    /// A count flag set to zero.
+    ZeroCount,
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ArgError::NotANumber(value) => write!(f, "`{value}` is not a number"),
+            ArgError::UnknownFlag(flag) => write!(
+                f,
+                "unknown argument `{flag}` (expected --quick, --clients N, \
+                 --requests M, --apps N, --seed S, --print-scenario)"
+            ),
+            ArgError::ZeroCount => {
+                write!(f, "--clients, --requests and --apps must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+struct Options {
+    clients: usize,
+    requests: usize,
+    apps: usize,
+    seed: u64,
+    print_scenario: bool,
+}
+
+impl Options {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Options, ArgError> {
+        let mut opts = Options {
+            clients: 8,
+            requests: 50,
+            apps: 16,
+            seed: 2014,
+            print_scenario: false,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value = |name: &'static str| args.next().ok_or(ArgError::MissingValue(name));
+            match arg.as_str() {
+                "--quick" => {
+                    opts.clients = 4;
+                    opts.requests = 25;
+                    opts.apps = 8;
+                }
+                "--clients" => opts.clients = parse_num(&value("--clients")?)?,
+                "--requests" => opts.requests = parse_num(&value("--requests")?)?,
+                "--apps" => opts.apps = parse_num(&value("--apps")?)?,
+                "--seed" => opts.seed = parse_num(&value("--seed")?)?,
+                "--print-scenario" => opts.print_scenario = true,
+                other => return Err(ArgError::UnknownFlag(other.to_string())),
+            }
+        }
+        if opts.clients == 0 || opts.requests == 0 || opts.apps == 0 {
+            return Err(ArgError::ZeroCount);
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, ArgError> {
+    s.parse().map_err(|_| ArgError::NotANumber(s.to_string()))
+}
+
+fn scenario_text(opts: &Options) -> String {
+    let mix = MachineMix {
+        apps: opts.apps,
+        seed: opts.seed,
+        ..MachineMix::default()
+    };
+    mix.scenario(calciom::Strategy::FcfsSerialize).to_text()
+}
+
+fn percentile_us(sorted: &[u128], pct: usize) -> u128 {
+    let idx = (sorted.len() - 1) * pct / 100;
+    sorted[idx]
+}
+
+fn main() -> ExitCode {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("serve-bench: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let body = Arc::new(scenario_text(&opts));
+    if opts.print_scenario {
+        print!("{body}");
+        return ExitCode::SUCCESS;
+    }
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let handle = match start(config, Box::new(BufferLog::new())) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve-bench: cannot boot server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr();
+
+    println!(
+        "serve-bench: {} clients × {} requests, MachineMix(apps={}, seed={}) → /v1/run",
+        opts.clients, opts.requests, opts.apps, opts.seed
+    );
+
+    let started = Instant::now();
+    let clients: Vec<_> = (0..opts.clients)
+        .map(|_| {
+            let body = Arc::clone(&body);
+            let requests = opts.requests;
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::with_capacity(requests);
+                let mut failures = 0usize;
+                let mut reference: Option<Vec<u8>> = None;
+                for _ in 0..requests {
+                    let sent = Instant::now();
+                    match client::post(addr, "/v1/run", body.as_bytes()) {
+                        Ok(reply) if reply.status == 200 => {
+                            latencies_us.push(sent.elapsed().as_micros());
+                            // Every response in the whole run must be
+                            // byte-identical — the service's core contract.
+                            match &reference {
+                                Some(first) if *first != reply.body => failures += 1,
+                                Some(_) => {}
+                                None => reference = Some(reply.body),
+                            }
+                        }
+                        Ok(_) | Err(_) => failures += 1,
+                    }
+                }
+                (latencies_us, failures)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::with_capacity(opts.clients * opts.requests);
+    let mut failures = 0usize;
+    for client in clients {
+        let (lat, fail) = client.join().expect("client thread");
+        latencies_us.extend(lat);
+        failures += fail;
+    }
+    let wall = started.elapsed();
+
+    let total = opts.clients * opts.requests;
+    let hits = handle.service().cache().hits();
+    let misses = handle.service().cache().misses();
+    handle.shutdown();
+
+    if failures > 0 || latencies_us.is_empty() {
+        eprintln!("serve-bench: {failures} of {total} requests failed");
+        return ExitCode::FAILURE;
+    }
+    latencies_us.sort_unstable();
+    let rps = total as f64 / wall.as_secs_f64();
+    let p50 = percentile_us(&latencies_us, 50);
+    let p99 = percentile_us(&latencies_us, 99);
+
+    println!(
+        "serve-bench: {} requests in {:.3} s → {:.0} req/s (closed loop)",
+        total,
+        wall.as_secs_f64(),
+        rps
+    );
+    println!("serve-bench: latency p50 = {p50} µs, p99 = {p99} µs");
+    println!(
+        "serve-bench: response cache {hits} hits / {misses} misses over {} lookups",
+        hits + misses
+    );
+    println!(
+        "note: serve-json: {{\"clients\":{},\"requests_per_client\":{},\"apps\":{},\
+         \"seed\":{},\"total_requests\":{},\"wall_ms\":{},\"rps\":{:.1},\
+         \"p50_us\":{},\"p99_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+        opts.clients,
+        opts.requests,
+        opts.apps,
+        opts.seed,
+        total,
+        wall.as_millis(),
+        rps,
+        p50,
+        p99,
+        hits,
+        misses
+    );
+    ExitCode::SUCCESS
+}

@@ -36,31 +36,86 @@ use calciom::{Error, Scenario, Session};
 use mpiio::AppConfig;
 use pfs::{AppId, PfsConfig};
 use simcore::SimTime;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// The memo table plus its insertion-order queue (the eviction order).
+#[derive(Debug, Default)]
+struct Table {
+    map: BTreeMap<String, f64>,
+    order: VecDeque<String>,
+}
 
 /// A memo table of stand-alone first-phase I/O times, keyed on the exact
 /// `(application, file system)` pair.
+///
+/// The cache may be bounded: [`BaselineCache::with_capacity`] (or
+/// [`BaselineCache::set_capacity`] on a live cache, e.g. the global one
+/// inside a long-running server) caps the number of entries, evicting in
+/// insertion order once full. A capacity of 0 — the [`BaselineCache::new`]
+/// default — means unbounded, which keeps the historical sweep behavior:
+/// a figure sweep touches a fixed, small set of pairs and wants them all
+/// resident.
 #[derive(Debug, Default)]
 pub struct BaselineCache {
-    map: Mutex<BTreeMap<String, f64>>,
+    table: Mutex<Table>,
+    /// Maximum entries; 0 means unbounded.
+    capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl BaselineCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         BaselineCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = BaselineCache::new();
+        cache.capacity.store(capacity, Ordering::Relaxed);
+        cache
+    }
+
+    /// Re-bounds a live cache (0 = unbounded). Shrinking below the
+    /// current size evicts the oldest entries immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut table = self.table();
+        self.evict_over_capacity(&mut table);
+    }
+
+    /// The capacity in force (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
     }
 
     /// Locks the memo table. The single place the lock is acquired — and
     /// the single justified panic: a poisoned lock means another sweep
     /// thread died mid-insert, and no baseline answer can be trusted.
-    fn table(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, f64>> {
+    fn table(&self) -> std::sync::MutexGuard<'_, Table> {
         // simlint: allow(R4, poisoned lock means a worker panicked; continuing would serve corrupt baselines)
-        self.map.lock().expect("baseline cache lock")
+        self.table.lock().expect("baseline cache lock")
+    }
+
+    /// Drops the oldest entries until the table fits the capacity. Must
+    /// be called with the lock held (takes the guard's target).
+    fn evict_over_capacity(&self, table: &mut Table) {
+        let capacity = self.capacity();
+        if capacity == 0 {
+            return;
+        }
+        while table.map.len() > capacity {
+            let Some(oldest) = table.order.pop_front() else {
+                break;
+            };
+            if table.map.remove(&oldest).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// The process-wide cache shared by the sweep harnesses.
@@ -75,7 +130,7 @@ impl BaselineCache {
     /// so a cached answer is exactly the answer a fresh run would give.
     pub fn alone_time(&self, app: &AppConfig, pfs: &PfsConfig) -> Result<f64, Error> {
         let key = Self::key(app, pfs);
-        if let Some(&cached) = self.table().get(&key) {
+        if let Some(&cached) = self.table().map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(cached);
         }
@@ -85,7 +140,11 @@ impl BaselineCache {
         // always insert the same deterministic value.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Session::run_alone(app.clone(), pfs.clone())?;
-        self.table().insert(key, value);
+        let mut table = self.table();
+        if table.map.insert(key.clone(), value).is_none() {
+            table.order.push_back(key);
+        }
+        self.evict_over_capacity(&mut table);
         Ok(value)
     }
 
@@ -99,9 +158,14 @@ impl BaselineCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// How many entries were dropped to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct `(app, pfs)` pairs cached.
     pub fn len(&self) -> usize {
-        self.table().len()
+        self.table().map.len()
     }
 
     /// True when nothing has been cached yet.
@@ -109,9 +173,12 @@ impl BaselineCache {
         self.len() == 0
     }
 
-    /// Drops every cached baseline (counters are kept).
+    /// Drops every cached baseline (counters are kept; entries dropped
+    /// here do not count as evictions).
     pub fn clear(&self) {
-        self.table().clear();
+        let mut table = self.table();
+        table.map.clear();
+        table.order.clear();
     }
 
     /// The cache key: the *canonical* serialized form of the scenario
@@ -277,5 +344,47 @@ mod tests {
         // The counter invariant covers failed requests too: the attempt
         // counts as a miss, so hits + misses still equals total requests.
         assert_eq!(cache.hits() + cache.misses(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_in_insertion_order() {
+        let cache = BaselineCache::with_capacity(2);
+        let pfs = PfsConfig::grid5000_rennes();
+        // Three distinct pairs through a capacity-2 cache: the first
+        // inserted entry is the one evicted.
+        cache.alone_time(&app(0, 336, 16.0), &pfs).unwrap();
+        cache.alone_time(&app(0, 48, 16.0), &pfs).unwrap();
+        cache.alone_time(&app(0, 112, 16.0), &pfs).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // The evicted (oldest) pair must re-simulate; the resident ones
+        // must not.
+        cache.alone_time(&app(0, 112, 16.0), &pfs).unwrap();
+        assert_eq!(cache.hits(), 1);
+        cache.alone_time(&app(0, 336, 16.0), &pfs).unwrap();
+        assert_eq!(cache.misses(), 4, "evicted entry re-simulates");
+        // Re-caching the value must still give the deterministic answer.
+        let direct = Session::run_alone(app(0, 336, 16.0), pfs.clone()).unwrap();
+        assert_eq!(cache.alone_time(&app(0, 336, 16.0), &pfs).unwrap(), direct);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately_and_zero_unbounds() {
+        let cache = BaselineCache::new();
+        assert_eq!(cache.capacity(), 0, "default is unbounded");
+        let pfs = PfsConfig::grid5000_rennes();
+        for procs in [48, 112, 336] {
+            cache.alone_time(&app(0, procs, 16.0), &pfs).unwrap();
+        }
+        assert_eq!(cache.len(), 3);
+        cache.set_capacity(1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 2);
+        cache.set_capacity(0);
+        for procs in [48, 112, 336] {
+            cache.alone_time(&app(0, procs, 16.0), &pfs).unwrap();
+        }
+        assert_eq!(cache.len(), 3, "capacity 0 lifts the bound again");
+        assert_eq!(cache.evictions(), 2);
     }
 }

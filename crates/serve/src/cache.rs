@@ -1,0 +1,186 @@
+//! Bounded response cache.
+//!
+//! The simulation is a pure function of the canonical scenario text and
+//! the policy spec, so a response body can be memoized under exactly the
+//! key its strong ETag hashes. The cache follows the same discipline as
+//! `iobench::BaselineCache` — canonical keys, counters, bounded size —
+//! with insertion-order eviction so a long-running server holds at most
+//! `capacity` bodies no matter how much distinct traffic it sees.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One memoized response: everything needed to replay the exchange
+/// byte-identically (plus the sim-event count for the request log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResponse {
+    /// The exact body bytes originally sent.
+    pub body: Vec<u8>,
+    /// Its `content-type`.
+    pub content_type: &'static str,
+    /// The strong ETag (a pure function of the cache key).
+    pub etag: String,
+    /// Simulation events the original computation streamed — logged on
+    /// hits too, so the log's `events=` column stays meaningful.
+    pub events: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: BTreeMap<String, CachedResponse>,
+    /// Keys in insertion order — the eviction queue.
+    order: VecDeque<String>,
+}
+
+/// A capacity-bounded, insertion-order-evicting memo from canonical
+/// request keys to response bodies.
+///
+/// Concurrency contract: `get`/`insert` take the lock only to touch the
+/// map — callers compute responses *outside* the lock, so two concurrent
+/// misses of the same key may both simulate and both insert. That is
+/// safe (the simulation is deterministic, so both insert the same body)
+/// and keeps `hits() + misses()` equal to the number of lookups.
+#[derive(Debug, Default)]
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` responses; 0 disables caching
+    /// entirely (every lookup misses, nothing is stored).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResponseCache {
+            capacity,
+            ..ResponseCache::default()
+        }
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<CachedResponse> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let inner = self.lock();
+        match inner.map.get(key) {
+            Some(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cached.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `response` under `key`, evicting the oldest entries if the
+    /// cache is full. Re-inserting an existing key refreshes the value
+    /// without growing the queue.
+    pub fn insert(&self, key: &str, response: CachedResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.map.insert(key.to_string(), response).is_none() {
+            inner.order.push_back(key.to_string());
+        }
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            if inner.map.remove(&oldest).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A worker that panicked mid-insert can only have left a fully
+        // consistent map behind (insert/evict touch one entry at a time),
+        // so a poisoned lock is still usable.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(n: usize) -> CachedResponse {
+        CachedResponse {
+            body: format!("body-{n}").into_bytes(),
+            content_type: "application/json",
+            etag: format!("\"{n:016x}\""),
+            events: n as u64,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let cache = ResponseCache::with_capacity(2);
+        assert!(cache.get("a").is_none());
+        cache.insert("a", body(1));
+        cache.insert("b", body(2));
+        assert_eq!(cache.get("a").unwrap().body, b"body-1");
+        cache.insert("c", body(3));
+        // "a" was the oldest insertion; capacity 2 keeps b and c.
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_queue_entries() {
+        let cache = ResponseCache::with_capacity(2);
+        cache.insert("a", body(1));
+        cache.insert("a", body(9));
+        cache.insert("b", body(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a").unwrap().body, b"body-9");
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResponseCache::with_capacity(0);
+        cache.insert("a", body(1));
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.is_empty());
+    }
+}

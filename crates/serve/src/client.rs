@@ -1,0 +1,139 @@
+//! A minimal blocking HTTP/1.1 client for the loopback tests and the
+//! closed-loop benchmark.
+//!
+//! Exactly the counterpart of the server's wire subset: one request per
+//! connection, `Content-Length` bodies, response read to EOF (the server
+//! always closes). Not a general HTTP client — just enough to exercise
+//! `calciom-serve` without external tooling.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side IO timeout (generous: a batch request simulates).
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// A header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// The body as (lossy) UTF-8 text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Performs one request and reads the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+
+    let mut head = format!("{method} {target} HTTP/1.1\r\nhost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !body.is_empty() || method == "POST" || method == "PUT" {
+        head.push_str(&format!("content-length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+/// `GET target`.
+pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<HttpReply> {
+    request(addr, "GET", target, &[], &[])
+}
+
+/// `POST target` with a body.
+pub fn post(addr: SocketAddr, target: &str, body: &[u8]) -> std::io::Result<HttpReply> {
+    request(addr, "POST", target, &[], body)
+}
+
+fn bad(reason: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, reason.to_string())
+}
+
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("response head is not UTF-8"))?;
+    let body = raw[split + 4..].to_vec();
+
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response head"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed response header"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    // The server always sends content-length; honor it if the stream
+    // carried trailing bytes (it never should — connection: close).
+    if let Some(declared) = headers.get("content-length").and_then(|v| v.parse().ok()) {
+        if body.len() < declared {
+            return Err(bad("response body shorter than content-length"));
+        }
+    }
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: 3\r\n\r\nok\n";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("content-type"), Some("text/plain"));
+        assert_eq!(reply.body, b"ok\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_reply(b"not http").is_err());
+        assert!(parse_reply(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

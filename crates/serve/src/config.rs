@@ -1,0 +1,142 @@
+//! Environment-driven service configuration.
+//!
+//! Every knob has a `CALCIOM_*` environment variable and a default that
+//! works for local runs; [`ServeConfig::from_env`] reads them all and
+//! rejects malformed values with a typed [`ServeConfigError`] naming the
+//! offending variable, so a typo in a deployment manifest fails the boot
+//! instead of silently running with a default.
+
+/// Tunable limits and sizing of one server process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Listen address (`CALCIOM_ADDR`, default `127.0.0.1:7117`;
+    /// `…:0` binds an ephemeral port — the tests' mode).
+    pub addr: String,
+    /// Worker threads handling requests (`CALCIOM_WORKERS`; 0, the
+    /// default, means one per available core).
+    pub workers: usize,
+    /// Default shard count of `/v1/batch` fan-outs when the request does
+    /// not pass `?shards=` (`CALCIOM_SHARDS`; 0, the default, means one
+    /// shard per available core).
+    pub shards: usize,
+    /// Hard cap on a request body in bytes (`CALCIOM_MAX_BODY`, default
+    /// 4 MiB). A `Content-Length` beyond it is answered `413` without
+    /// reading the body.
+    pub max_body: usize,
+    /// Capacity of the response cache in entries (`CALCIOM_CACHE_CAP`,
+    /// default 256; 0 disables caching). The same cap is installed on the
+    /// process-wide `iobench::BaselineCache` at server start.
+    pub cache_cap: usize,
+    /// Hard cap on a scenario's simulated-time horizon in seconds
+    /// (`CALCIOM_MAX_HORIZON`, default 7 simulated days). A scenario
+    /// asking for more is rejected `422` before it can wedge a worker.
+    pub max_horizon_secs: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            workers: 0,
+            shards: 0,
+            max_body: 4 << 20,
+            cache_cap: 256,
+            max_horizon_secs: 7.0 * 86_400.0,
+        }
+    }
+}
+
+/// A malformed `CALCIOM_*` environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfigError {
+    /// The variable that failed to parse.
+    pub var: &'static str,
+    /// Its rejected value.
+    pub value: String,
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid value for {}: {:?}", self.var, self.value)
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+impl ServeConfig {
+    /// Reads the configuration from the `CALCIOM_*` environment, using
+    /// the [`Default`] for every unset variable.
+    pub fn from_env() -> Result<ServeConfig, ServeConfigError> {
+        let mut config = ServeConfig::default();
+        if let Some(addr) = read("CALCIOM_ADDR") {
+            config.addr = addr;
+        }
+        config.workers = parsed("CALCIOM_WORKERS", config.workers)?;
+        config.shards = parsed("CALCIOM_SHARDS", config.shards)?;
+        config.max_body = parsed("CALCIOM_MAX_BODY", config.max_body)?;
+        config.cache_cap = parsed("CALCIOM_CACHE_CAP", config.cache_cap)?;
+        config.max_horizon_secs = parsed("CALCIOM_MAX_HORIZON", config.max_horizon_secs)?;
+        if !(config.max_horizon_secs.is_finite() && config.max_horizon_secs > 0.0) {
+            return Err(ServeConfigError {
+                var: "CALCIOM_MAX_HORIZON",
+                value: format!("{}", config.max_horizon_secs),
+            });
+        }
+        Ok(config)
+    }
+
+    /// The effective worker count (resolves `0` to the core count).
+    pub fn effective_workers(&self) -> usize {
+        resolve_auto(self.workers)
+    }
+
+    /// The effective default shard count (resolves `0` to the core count).
+    pub fn effective_shards(&self) -> usize {
+        resolve_auto(self.shards)
+    }
+}
+
+fn resolve_auto(configured: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn read(var: &'static str) -> Option<String> {
+    std::env::var(var).ok().filter(|v| !v.is_empty())
+}
+
+fn parsed<T: std::str::FromStr>(var: &'static str, default: T) -> Result<T, ServeConfigError> {
+    match read(var) {
+        None => Ok(default),
+        Some(value) => value.parse().map_err(|_| ServeConfigError { var, value }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert_eq!(c.addr, "127.0.0.1:7117");
+        assert!(c.max_body >= 1 << 20);
+        assert!(c.cache_cap > 0);
+        assert!(c.effective_workers() >= 1);
+        assert!(c.effective_shards() >= 1);
+    }
+
+    #[test]
+    fn config_error_names_the_variable() {
+        let e = ServeConfigError {
+            var: "CALCIOM_WORKERS",
+            value: "lots".to_string(),
+        };
+        assert!(e.to_string().contains("CALCIOM_WORKERS"));
+        assert!(e.to_string().contains("lots"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Hand-rolled HTTP/1.1 request parser and response writer.
+//!
+//! The crate registry is unreachable in this build environment (see
+//! `vendor/README.md`), so the wire layer is implemented directly over
+//! [`std::io`] in the same vendoring philosophy: the *minimal* slice of
+//! HTTP/1.1 the service needs, written defensively.
+//!
+//! * Requests are `method path[?query] HTTP/1.x` + headers + an optional
+//!   `Content-Length` body. Header blocks are capped at
+//!   [`MAX_HEAD_BYTES`]; bodies are capped by the caller-supplied limit
+//!   *before* the body is read, so an oversized upload is rejected
+//!   without draining the stream ([`HttpError::BodyTooLarge`] → `413`).
+//! * Responses always carry `Content-Length` and `Connection: close`;
+//!   every connection serves exactly one exchange. Keeping connection
+//!   lifetime equal to request lifetime is what makes the worker pool's
+//!   accounting trivial — a hostile client can hold at most one worker,
+//!   and only for [`IO_TIMEOUT`].
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Per-connection read/write timeout: a client that stops mid-request
+/// frees its worker after this long.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A problem reading or parsing one request. Each variant maps to one
+/// response status (see [`HttpError::status`]).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed or timed out mid-exchange.
+    Io(std::io::Error),
+    /// The request line was not `METHOD target HTTP/1.x`.
+    BadRequestLine(String),
+    /// A header line had no `:` separator.
+    BadHeader(String),
+    /// The request line + headers exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// A body-bearing request had no (or an unparsable) `Content-Length`
+    /// (chunked uploads are not supported).
+    LengthRequired,
+    /// `Content-Length` exceeded the configured body cap. The body was
+    /// *not* read.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl HttpError {
+    /// The response status this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Io(_) => 400,
+            HttpError::BadRequestLine(_) | HttpError::BadHeader(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::LengthRequired => 411,
+            HttpError::BodyTooLarge { .. } => 413,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line {l:?}"),
+            HttpError::BadHeader(l) => write!(f, "malformed header line {l:?}"),
+            HttpError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::LengthRequired => {
+                write!(
+                    f,
+                    "request body needs a Content-Length (chunked unsupported)"
+                )
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path, without the query string (`/v1/run`).
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Headers with lower-cased names; the last occurrence wins.
+    pub headers: BTreeMap<String, String>,
+    /// The request body (empty for bodiless methods).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// The decoded value of one query parameter (`?policy=rr%2810s%29` →
+    /// `rr(10s)`), or `None` when the parameter is absent or its
+    /// percent-encoding is broken.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .find_map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                (k == name).then(|| percent_decode(v))?
+            })
+    }
+}
+
+/// Decodes `%XX` escapes and `+` spaces. Returns `None` on a truncated
+/// or non-hex escape.
+pub fn percent_decode(text: &str) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Reads and parses one request from `stream`. `max_body` bounds the
+/// body; a larger declared `Content-Length` errors *before* any body
+/// byte is read.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut head_budget = MAX_HEAD_BYTES;
+    let request_line = read_line(&mut reader, &mut head_budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/1.") => {
+            (m.to_ascii_uppercase(), t, v)
+        }
+        _ => return Err(HttpError::BadRequestLine(request_line)),
+    };
+    let _ = version;
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line(&mut reader, &mut head_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let (raw_path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q.to_string()),
+        None => (target, String::new()),
+    };
+    let path = percent_decode(raw_path).unwrap_or_else(|| raw_path.to_string());
+
+    let body = if method == "POST" || method == "PUT" {
+        let declared: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or(HttpError::LengthRequired)?;
+        if declared > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared,
+                limit: max_body,
+            });
+        }
+        let mut body = vec![0u8; declared];
+        reader.read_exact(&mut body)?;
+        body
+    } else {
+        Vec::new()
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging it against the
+/// shared head budget.
+fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-request",
+        )));
+    }
+    *budget = budget.checked_sub(n).ok_or(HttpError::HeadTooLarge)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// One response, always written with `Content-Length` and
+/// `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// Extra headers as `(name, value)` pairs, in emission order.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a body and content type.
+    pub fn with_body(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".to_string(), content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// Appends a header.
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase of the status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            _ => "Response",
+        }
+    }
+
+    /// Serializes status line + headers + body to the wire.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!(
+            "content-length: {}\r\nconnection: close\r\n\r\n",
+            self.body.len()
+        ));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_rejects_broken_ones() {
+        assert_eq!(percent_decode("rr%2810s%29").as_deref(), Some("rr(10s)"));
+        assert_eq!(percent_decode("a+b").as_deref(), Some("a b"));
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("%2"), None);
+        assert_eq!(percent_decode("%zz"), None);
+    }
+
+    #[test]
+    fn query_params_decode() {
+        let req = Request {
+            method: "POST".to_string(),
+            path: "/v1/run".to_string(),
+            query: "policy=rr%2810s%29&shards=4&flag".to_string(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("policy").as_deref(), Some("rr(10s)"));
+        assert_eq!(req.query_param("shards").as_deref(), Some("4"));
+        assert_eq!(req.query_param("flag").as_deref(), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::with_body(200, "application/json", "{}")
+            .header("etag", "\"abc\"")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("etag: \"abc\"\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn http_error_statuses_match_the_contract() {
+        assert_eq!(
+            HttpError::BodyTooLarge {
+                declared: 10,
+                limit: 5
+            }
+            .status(),
+            413
+        );
+        assert_eq!(HttpError::LengthRequired.status(), 411);
+        assert_eq!(HttpError::HeadTooLarge.status(), 431);
+        assert_eq!(HttpError::BadRequestLine(String::new()).status(), 400);
+    }
+}

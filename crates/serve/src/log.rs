@@ -1,0 +1,185 @@
+//! The structured request log: one line per request.
+//!
+//! The line is `key=value` pairs in a fixed order — greppable, one
+//! write per request, no timestamps beyond the wall-clock the request
+//! itself took (the service is stateless; host time would only make the
+//! log nondeterministic to test). Absent fields (a request with no
+//! scenario, say) render as `-` so every line has the same columns.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Everything one log line carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query string excluded).
+    pub path: String,
+    /// FNV-64 of the request body — `None` for body-less requests.
+    pub scenario_hash: Option<u64>,
+    /// Shard count a `/v1/batch` request fanned out over.
+    pub shards: Option<usize>,
+    /// Response status code.
+    pub status: u16,
+    /// Simulation events streamed while computing the response.
+    pub events: u64,
+    /// Host wall-clock spent handling the request.
+    pub wall: Duration,
+    /// Response-cache outcome, when the endpoint is cacheable.
+    pub cache: Option<CacheOutcome>,
+}
+
+/// Whether a cacheable request was served from the response cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// Computed, then stored.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable label (also the `x-cache` header value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+impl RequestRecord {
+    /// Renders the fixed-column log line.
+    pub fn line(&self) -> String {
+        let scenario = match self.scenario_hash {
+            Some(h) => format!("{h:016x}"),
+            None => "-".to_string(),
+        };
+        let shards = match self.shards {
+            Some(s) => s.to_string(),
+            None => "-".to_string(),
+        };
+        let cache = match self.cache {
+            Some(outcome) => outcome.label(),
+            None => "-",
+        };
+        format!(
+            "method={} path={} scenario={} shards={} status={} events={} wall_us={} cache={}",
+            self.method,
+            self.path,
+            scenario,
+            shards,
+            self.status,
+            self.events,
+            self.wall.as_micros(),
+            cache
+        )
+    }
+}
+
+/// Sink for request records. Implementations must be cheap and
+/// non-blocking-ish: the worker writes the line after the response is
+/// already on the wire.
+pub trait RequestLog: Send + Sync {
+    /// Records one handled request.
+    fn record(&self, record: &RequestRecord);
+}
+
+/// Production sink: one line per request on stderr.
+#[derive(Debug, Default)]
+pub struct StderrLog;
+
+impl RequestLog for StderrLog {
+    fn record(&self, record: &RequestRecord) {
+        eprintln!("{}", record.line());
+    }
+}
+
+/// Test sink: collects records in memory.
+#[derive(Debug, Default)]
+pub struct BufferLog {
+    records: Mutex<Vec<RequestRecord>>,
+}
+
+impl BufferLog {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        BufferLog::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn records(&self) -> Vec<RequestRecord> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+impl RequestLog for BufferLog {
+    fn record(&self, record: &RequestRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_has_fixed_columns() {
+        let record = RequestRecord {
+            method: "POST".to_string(),
+            path: "/v1/run".to_string(),
+            scenario_hash: Some(0xabc),
+            shards: None,
+            status: 200,
+            events: 42,
+            wall: Duration::from_micros(1234),
+            cache: Some(CacheOutcome::Miss),
+        };
+        assert_eq!(
+            record.line(),
+            "method=POST path=/v1/run scenario=0000000000000abc shards=- \
+             status=200 events=42 wall_us=1234 cache=miss"
+        );
+    }
+
+    #[test]
+    fn absent_fields_render_as_dashes() {
+        let record = RequestRecord {
+            method: "GET".to_string(),
+            path: "/healthz".to_string(),
+            scenario_hash: None,
+            shards: None,
+            status: 200,
+            events: 0,
+            wall: Duration::ZERO,
+            cache: None,
+        };
+        let line = record.line();
+        assert!(line.contains("scenario=- shards=-"));
+        assert!(line.ends_with("cache=-"));
+    }
+
+    #[test]
+    fn buffer_log_collects() {
+        let log = BufferLog::new();
+        log.record(&RequestRecord {
+            method: "GET".to_string(),
+            path: "/healthz".to_string(),
+            scenario_hash: None,
+            shards: None,
+            status: 200,
+            events: 0,
+            wall: Duration::ZERO,
+            cache: None,
+        });
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].status, 200);
+    }
+}

@@ -1,0 +1,200 @@
+//! The TCP front end: a listener, a bounded worker pool, and a
+//! connection pump around [`Service`].
+//!
+//! Architecture: one acceptor thread accepts connections and feeds them
+//! into a *bounded* `sync_channel`; `workers` worker threads drain it,
+//! each serving one `read → handle → write → close` exchange per
+//! connection. The bounded channel is the back-pressure valve — when
+//! every worker is busy and the queue is full, the acceptor itself
+//! blocks, so the OS listen backlog (not unbounded process memory)
+//! absorbs a connection flood.
+//!
+//! Shutdown is a signal pipe in the dependency-free sense: a
+//! [`ShutdownSignal`] sets the stop flag and opens one loopback
+//! connection to the listener, waking the blocking `accept` so the
+//! acceptor can observe the flag, drop the channel sender, and let every
+//! worker drain and exit. [`ServerHandle::join`] then reaps all threads.
+
+use crate::config::ServeConfig;
+use crate::http::read_request;
+use crate::log::RequestLog;
+use crate::service::Service;
+use iobench::BaselineCache;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A cloneable trigger for graceful shutdown, detachable from the
+/// handle so a watcher thread (or a test) can stop the server while
+/// another thread blocks in [`ServerHandle::join`].
+#[derive(Clone)]
+pub struct ShutdownSignal {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownSignal {
+    /// Requests shutdown: raises the stop flag, then opens (and
+    /// immediately drops) one loopback connection to wake the acceptor
+    /// out of its blocking `accept`.
+    pub fn trigger(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server: the bound address, the shared [`Service`], and the
+/// threads to reap.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    signal: ShutdownSignal,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves `…:0` ephemeral binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (cache stats, config).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// A detachable shutdown trigger.
+    pub fn signal(&self) -> ShutdownSignal {
+        self.signal.clone()
+    }
+
+    /// Blocks until the server has shut down (someone must
+    /// [`ShutdownSignal::trigger`] it), then reaps every thread.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Graceful shutdown: trigger + join.
+    pub fn shutdown(self) {
+        self.signal.trigger();
+        self.join();
+    }
+}
+
+/// Binds `config.addr` and starts the acceptor + worker threads.
+///
+/// Also installs `config.cache_cap` as the capacity of the process-wide
+/// [`BaselineCache`], so a long-running server bounds *both* memo layers
+/// (response bodies here, `T_alone` baselines there).
+pub fn start(config: ServeConfig, log: Box<dyn RequestLog>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    BaselineCache::global().set_capacity(config.cache_cap);
+    let workers = config.effective_workers();
+    let service = Arc::new(Service::new(config, log));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Bounded hand-off queue: a small buffer smooths bursts, while a
+    // full queue blocks the acceptor (back-pressure instead of growth).
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers.saturating_mul(2).max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        worker_handles.push(std::thread::spawn(move || worker_loop(&rx, &service)));
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    // A failed accept (client reset mid-handshake) is the
+                    // client's problem, not a reason to stop serving.
+                    continue;
+                };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Dropping the sender ends every worker's `recv` loop.
+            drop(tx);
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        signal: ShutdownSignal { addr, stop },
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &Service) {
+    loop {
+        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        match next {
+            Ok(stream) => serve_connection(service, stream),
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection, one exchange: parse, handle, respond, close.
+fn serve_connection(service: &Service, mut stream: TcpStream) {
+    let response = match read_request(&mut stream, service.config().max_body) {
+        Ok(request) => service.handle(&request),
+        Err(e) => service.handle_unparsable(e.status(), &e.to_string()),
+    };
+    // The peer may already be gone (e.g. the shutdown wake-up
+    // connection); a failed write only affects that peer.
+    let _ = response.write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::log::BufferLog;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn boots_serves_healthz_and_shuts_down() {
+        let handle = start(test_config(), Box::new(BufferLog::new())).unwrap();
+        let reply = client::get(handle.addr(), "/healthz").unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, b"ok\n");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_signal_works_from_another_thread() {
+        let handle = start(test_config(), Box::new(BufferLog::new())).unwrap();
+        let signal = handle.signal();
+        let trigger = std::thread::spawn(move || signal.trigger());
+        handle.join();
+        trigger.join().unwrap();
+    }
+}

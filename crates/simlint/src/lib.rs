@@ -32,7 +32,9 @@ use crate::allowlist::Allowlist;
 use crate::error::LintError;
 use crate::findings::{Disposition, Finding, Report};
 use crate::lexer::Lexed;
-use crate::rules::{check_event_coverage, rule_by_ref, EventCoverageConfig, FileInput, RULES};
+use crate::rules::{
+    check_event_coverage, rule_by_ref, EventCoverageConfig, FileInput, ScopeConfig, RULES,
+};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -51,7 +53,7 @@ pub fn lint_source(path: &str, crate_name: &str, source: &str) -> Vec<Finding> {
         crate_name: crate_name.to_string(),
         lexed: lexer::lex(source),
     };
-    let raw = rules::scan_file(&input);
+    let raw = rules::scan_file(&input, &ScopeConfig::workspace_default());
     let mut report = Report::default();
     resolve(raw, &input.lexed, &input.path, None, &mut report);
     report.findings
@@ -215,6 +217,7 @@ pub fn lint_workspace(root: &Path, allowlist: Option<&Allowlist>) -> Result<Repo
         ..Report::default()
     };
     let mut lexed_files: BTreeMap<String, Lexed> = BTreeMap::new();
+    let scope = ScopeConfig::workspace_default();
 
     for (rel, crate_name) in workspace_files(root)? {
         let abs = root.join(&rel);
@@ -227,7 +230,7 @@ pub fn lint_workspace(root: &Path, allowlist: Option<&Allowlist>) -> Result<Repo
             crate_name,
             lexed: lexer::lex(&source),
         };
-        let raw = rules::scan_file(&input);
+        let raw = rules::scan_file(&input, &scope);
         resolve(raw, &input.lexed, &rel, allowlist, &mut report);
         lexed_files.insert(rel, input.lexed);
         report.files_scanned += 1;

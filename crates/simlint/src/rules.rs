@@ -4,15 +4,18 @@
 //! | id | name | scope | invariant |
 //! |----|------|-------|-----------|
 //! | R1 | nondeterministic-collections | order-sensitive crates (incl. tests) | no `HashMap`/`HashSet` — iteration order breaks golden traces |
-//! | R2 | wall-clock | simulation crates | no `Instant`/`SystemTime` — sim time is kernel-owned |
+//! | R2 | wall-clock | every crate except the exempt list | no `Instant`/`SystemTime` — sim time is kernel-owned |
 //! | R3 | stringly-errors | all crates | no `Result<_, String>` — errors are typed enums |
 //! | R4 | unchecked-panic | all crates, non-test | no `.unwrap()`/`.expect()`/`panic!` family without an allow |
 //! | R5 | raw-float-accumulation | simcore | no bare `+=`/`-=` on `remaining`/`residual` fields without an allow |
 //! | R6 | event-variant-coverage | workspace | every `SimEvent` variant appears in the report fold and the trace codec |
 //! | R7 | unseeded-rng | all crates (incl. tests) | no `thread_rng`/`from_entropy`/`OsRng`/`rand::random` |
 //!
-//! Scopes are crate-directory names; the tables below are the single
-//! source of truth and are documented in DESIGN.md.
+//! Scopes are crate-directory names, configured by [`ScopeConfig`]
+//! (single source of truth, documented in DESIGN.md). R2 is an
+//! *exempt*-list: a crate that legitimately reads host clocks must be
+//! listed **with a written reason**, and every crate added to the
+//! workspace later is checked by default.
 
 use crate::findings::Finding;
 use crate::lexer::{Lexed, Tok, TokKind};
@@ -74,19 +77,83 @@ pub fn rule_by_ref(r: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|info| info.id == r || info.name == r)
 }
 
-/// Crates whose event schedules feed golden-trace hashes: any observable
-/// iteration-order nondeterminism is a reproducibility bug, and test code
-/// that iterates a hash map flakes the suite, so R1 covers tests too.
-const ORDER_SENSITIVE_CRATES: &[&str] = &["simcore", "core", "pfs", "mpiio", "iobench", "simlint"];
+/// Which crates each crate-scoped rule covers.
+///
+/// R1 and R5 are *include*-lists (the property they protect only exists
+/// in specific crates). R2 is deliberately the inverse — an
+/// *exempt*-list with a mandatory written reason per entry — because
+/// "reads the host clock" is a property a new crate should have to
+/// argue for, not one it silently gets by being absent from a list.
+#[derive(Debug, Clone)]
+pub struct ScopeConfig {
+    /// R1: crates whose event schedules feed golden-trace hashes — any
+    /// observable iteration-order nondeterminism is a reproducibility
+    /// bug, and test code that iterates a hash map flakes the suite, so
+    /// R1 covers tests too.
+    pub order_sensitive: Vec<String>,
+    /// R2: `(crate, reason)` pairs exempt from the wall-clock rule.
+    /// Every crate *not* listed here executes under simulated time as
+    /// far as simlint is concerned.
+    pub wall_clock_exempt: Vec<(String, String)>,
+    /// R5: crates holding `Medium` implementations whose byte
+    /// integration must not regress the PR 6 drift fix.
+    pub float_accum: Vec<String>,
+}
 
-/// Crates executing under simulated time (the kernel owns the clock).
-/// `iobench`/`bench` intentionally measure *host* wall-clock for scale
-/// trajectories, so they are not in scope.
-const SIM_TIME_CRATES: &[&str] = &["simcore", "core", "pfs", "mpiio", "workloads"];
+impl ScopeConfig {
+    /// The workspace's real configuration.
+    pub fn workspace_default() -> Self {
+        let own = |names: &[&str]| names.iter().map(|n| n.to_string()).collect();
+        ScopeConfig {
+            order_sensitive: own(&[
+                "simcore", "core", "pfs", "mpiio", "iobench", "simlint",
+                // serve promises byte-identical response bodies for
+                // identical requests; hash-order iteration would leak
+                // into JSON rendering.
+                "serve",
+            ]),
+            wall_clock_exempt: vec![
+                (
+                    "iobench".to_string(),
+                    "measures host wall-clock for scale-trajectory throughput".to_string(),
+                ),
+                (
+                    "bench".to_string(),
+                    "figure/scale binaries report host wall-clock runtimes".to_string(),
+                ),
+                (
+                    "serve".to_string(),
+                    "HTTP service: request-log latency and socket timeouts are host time"
+                        .to_string(),
+                ),
+            ],
+            float_accum: own(&["simcore"]),
+        }
+    }
 
-/// Crates holding `Medium` implementations whose byte integration must
-/// not regress the PR 6 drift fix.
-const FLOAT_ACCUM_CRATES: &[&str] = &["simcore"];
+    /// Whether R1 covers `crate_name`.
+    pub fn is_order_sensitive(&self, crate_name: &str) -> bool {
+        self.order_sensitive.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether R2 covers `crate_name` (i.e. it is *not* exempt).
+    pub fn is_wall_clock_checked(&self, crate_name: &str) -> bool {
+        self.wall_clock_exempt_reason(crate_name).is_none()
+    }
+
+    /// The written justification for a crate's R2 exemption, if any.
+    pub fn wall_clock_exempt_reason(&self, crate_name: &str) -> Option<&str> {
+        self.wall_clock_exempt
+            .iter()
+            .find(|(c, _)| c == crate_name)
+            .map(|(_, reason)| reason.as_str())
+    }
+
+    /// Whether R5 covers `crate_name`.
+    pub fn is_float_accum(&self, crate_name: &str) -> bool {
+        self.float_accum.iter().any(|c| c == crate_name)
+    }
+}
 
 /// Per-file input to the per-file rules.
 pub struct FileInput {
@@ -99,21 +166,20 @@ pub struct FileInput {
     pub lexed: Lexed,
 }
 
-/// Runs every per-file rule over one file, returning raw findings
-/// (before allow resolution).
-pub fn scan_file(input: &FileInput) -> Vec<Finding> {
+/// Runs every per-file rule over one file under the given scope
+/// configuration, returning raw findings (before allow resolution).
+pub fn scan_file(input: &FileInput, scope: &ScopeConfig) -> Vec<Finding> {
     let mut out = Vec::new();
-    let in_scope = |crates: &[&str]| crates.contains(&input.crate_name.as_str());
 
-    if in_scope(ORDER_SENSITIVE_CRATES) {
+    if scope.is_order_sensitive(&input.crate_name) {
         r1_nondeterministic_collections(input, &mut out);
     }
-    if in_scope(SIM_TIME_CRATES) {
+    if scope.is_wall_clock_checked(&input.crate_name) {
         r2_wall_clock(input, &mut out);
     }
     r3_stringly_errors(input, &mut out);
     r4_unchecked_panic(input, &mut out);
-    if in_scope(FLOAT_ACCUM_CRATES) {
+    if scope.is_float_accum(&input.crate_name) {
         r5_raw_float_accumulation(input, &mut out);
     }
     r7_unseeded_rng(input, &mut out);
@@ -513,6 +579,10 @@ mod tests {
         }
     }
 
+    fn scan_file(input: &FileInput) -> Vec<Finding> {
+        super::scan_file(input, &ScopeConfig::workspace_default())
+    }
+
     #[test]
     fn r1_only_fires_in_order_sensitive_crates() {
         let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) {}";
@@ -531,12 +601,40 @@ mod tests {
     }
 
     #[test]
-    fn r2_skips_tests_and_non_sim_crates() {
+    fn r2_skips_tests_and_exempt_crates() {
         let src = "fn f() { let t = Instant::now(); }";
         assert_eq!(scan_file(&input("pfs", src)).len(), 1);
         assert!(scan_file(&input("iobench", src)).is_empty());
         let test_src = "#[test]\nfn t() { let t = Instant::now(); }";
         assert!(scan_file(&input("pfs", test_src)).is_empty());
+    }
+
+    #[test]
+    fn r2_exemptions_are_reasoned_and_new_crates_are_checked_by_default() {
+        let scope = ScopeConfig::workspace_default();
+        // Every exemption carries a written justification.
+        for (krate, reason) in &scope.wall_clock_exempt {
+            assert!(
+                !reason.trim().is_empty(),
+                "{krate} exemption needs a reason"
+            );
+        }
+        let src = "fn f() { let t = Instant::now(); }";
+        // serve is exempt (host-time request logs) …
+        assert!(scope.wall_clock_exempt_reason("serve").is_some());
+        assert!(scan_file(&input("serve", src)).is_empty());
+        // … but a crate added to the workspace tomorrow is checked until
+        // someone argues its exemption here.
+        assert!(scope.is_wall_clock_checked("some-future-crate"));
+        assert_eq!(scan_file(&input("some-future-crate", src)).len(), 1);
+    }
+
+    #[test]
+    fn serve_stays_covered_by_r3_and_r4() {
+        let bad = "pub fn f(x: Option<u32>) -> Result<u32, String> { Ok(x.unwrap()) }";
+        let found = scan_file(&input("serve", bad));
+        assert!(found.iter().any(|f| f.rule == "R3"), "{found:?}");
+        assert!(found.iter().any(|f| f.rule == "R4"), "{found:?}");
     }
 
     #[test]

@@ -72,6 +72,29 @@ fn r2_fixture_fires_on_marked_lines() {
 }
 
 #[test]
+fn r2_fixture_fires_in_every_sim_crate_and_stays_quiet_in_serve() {
+    let source = fixture("r2_wallclock.rs");
+    // Still enforced across the simulation stack …
+    for sim_crate in ["simcore", "core", "pfs", "mpiio", "workloads"] {
+        let findings = lint_source(
+            &format!("crates/{sim_crate}/src/bad.rs"),
+            sim_crate,
+            &source,
+        );
+        assert_eq!(
+            findings.iter().filter(|f| f.rule == "R2").count(),
+            3,
+            "{sim_crate}: {findings:#?}"
+        );
+    }
+    // … but scoped out for the serving layer by ScopeConfig (the source
+    // carries no inline allows — the exemption lives in configuration).
+    assert!(!source.contains("simlint: allow"));
+    let findings = lint_source("crates/serve/src/bad.rs", "serve", &source);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
 fn r3_fixture_fires_on_marked_lines() {
     assert_fires_exactly("r3_stringly.rs", "workloads");
 }

@@ -9,5 +9,6 @@ pub use calciom;
 pub use iobench;
 pub use mpiio;
 pub use pfs;
+pub use serve;
 pub use simcore;
 pub use workloads;
