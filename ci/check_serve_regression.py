@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate calciom-serve front-end throughput against the committed baseline.
+
+Usage: check_serve_regression.py BENCH_serve.json ci/serve_baseline.json
+
+Reads the freshly measured BENCH_serve.json (produced by `serve_bench
+--quick`, which runs the closed-loop and keep-alive phases side by side)
+and fails (exit 1) if
+
+  * either phase's throughput fell below the allowed fraction of the
+    committed baseline, or
+  * the keep-alive speedup over closed-loop fell below the structural
+    floor — the whole point of the persistent-connection front end.
+
+The tolerances are deliberately generous (throughput may drop to a third
+of baseline, the speedup floor is well under the measured ~3-4x) so the
+gate catches architectural regressions — keep-alive silently closing per
+request, the reactor fast path gone, a per-response O(n) buffer shuffle —
+rather than runner noise: the closed-loop phase finishes 200 requests in
+single-digit milliseconds on a small runner, so its req/s swings >2x with
+scheduler luck. Mirrors ci/check_scale_regression.py.
+"""
+
+import json
+import sys
+
+ALLOWED_THROUGHPUT_DROP = 0.67
+SPEEDUP_FLOOR_FRACTION = 0.5
+SPEEDUP_ABS_FLOOR = 1.5
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        measured = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    for phase in ("closed_loop", "keep_alive"):
+        base = baseline.get(phase, {}).get("rps")
+        got = measured.get(phase, {}).get("rps")
+        if got is None:
+            failures.append(f"{phase}: missing from measurement")
+            continue
+        limit = base * (1.0 - ALLOWED_THROUGHPUT_DROP)
+        verdict = "FAIL" if got < limit else "ok"
+        print(
+            f"{verdict:4} {phase}: {got:.0f} req/s "
+            f"(baseline {base:.0f} req/s, floor {limit:.0f} req/s)"
+        )
+        if got < limit:
+            failures.append(
+                f"{phase}: {got:.0f} req/s is below {limit:.0f} req/s "
+                f"({ALLOWED_THROUGHPUT_DROP:.0%} under baseline {base:.0f} req/s)"
+            )
+
+    base_speedup = baseline["keep_alive"]["speedup_vs_closed_loop"]
+    got_speedup = measured.get("keep_alive", {}).get("speedup_vs_closed_loop")
+    if got_speedup is None:
+        failures.append("keep_alive.speedup_vs_closed_loop: missing from measurement")
+    else:
+        floor = max(SPEEDUP_ABS_FLOOR, base_speedup * SPEEDUP_FLOOR_FRACTION)
+        verdict = "FAIL" if got_speedup < floor else "ok"
+        print(
+            f"{verdict:4} keep-alive speedup: {got_speedup:.2f}x "
+            f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
+        )
+        if got_speedup < floor:
+            failures.append(
+                f"keep-alive speedup {got_speedup:.2f}x is below the "
+                f"{floor:.2f}x floor (baseline {base_speedup:.2f}x)"
+            )
+
+    if failures:
+        print("\nserve front-end throughput regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("serve front-end throughput within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

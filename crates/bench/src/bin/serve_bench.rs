@@ -1,20 +1,36 @@
-//! Closed-loop throughput benchmark for `calciom-serve`.
+//! Throughput benchmark for `calciom-serve`: closed-loop (one
+//! connection per request) versus keep-alive (persistent connections,
+//! optionally pipelined), side by side.
 //!
 //! Boots the HTTP service in-process on an ephemeral port, then drives
-//! it with N client threads × M requests each, every request POSTing
-//! the same seeded [`MachineMix`] scenario to `/v1/run`. Closed loop:
-//! each client issues its next request only after the previous response
-//! arrives, so the measured rate is end-to-end service throughput
-//! (parse → simulate/cache → serialize → TCP), not raw socket churn.
+//! it with POSTs of the same seeded [`MachineMix`] scenario to
+//! `/v1/run`. Two phases, both closed-loop in the queueing sense (a
+//! client never has more than `--pipeline` requests outstanding):
 //!
-//! Prints human-readable lines plus a `note: serve-json: {...}` line CI
-//! extracts into the `BENCH_serve.json` artifact.
+//! * **closed-loop** — `--clients` threads × `--requests` each, a fresh
+//!   TCP connection per request: the pre-keep-alive baseline
+//!   (connect → request → response → close).
+//! * **keep-alive** — `--connections` threads, each pumping
+//!   `--requests` requests through one persistent connection with up to
+//!   `--pipeline` outstanding. Reports requests per connection and
+//!   cold- (first exchange, including connect) versus warm-connection
+//!   latency percentiles.
+//!
+//! The first phase warms the response cache, so both phases measure the
+//! HTTP front end on a cached workload — the protocol overhead, not the
+//! simulator. Prints human-readable lines plus a `note: serve-json:
+//! {...}` line CI extracts into the `BENCH_serve.json` artifact; the
+//! keep-alive object carries `speedup_vs_closed_loop`, which
+//! `ci/check_serve_regression.py` gates.
 //!
 //! `--print-scenario` instead writes the scenario document to stdout —
 //! the CI smoke step uses it to produce a request body for `curl`.
 
-use serve::{client, start, BufferLog, ServeConfig};
+use serve::client::{self, Conn};
+use serve::{start, BufferLog, ServeConfig};
+use std::collections::VecDeque;
 use std::fmt;
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,10 +58,14 @@ impl fmt::Display for ArgError {
             ArgError::UnknownFlag(flag) => write!(
                 f,
                 "unknown argument `{flag}` (expected --quick, --clients N, \
-                 --requests M, --apps N, --seed S, --print-scenario)"
+                 --requests M, --apps N, --seed S, --keep-alive, --closed-loop, \
+                 --connections N, --pipeline D, --print-scenario)"
             ),
             ArgError::ZeroCount => {
-                write!(f, "--clients, --requests and --apps must be positive")
+                write!(
+                    f,
+                    "--clients, --requests, --apps, --connections and --pipeline must be positive"
+                )
             }
         }
     }
@@ -58,6 +78,12 @@ struct Options {
     requests: usize,
     apps: usize,
     seed: u64,
+    /// Keep-alive connections (defaults to `clients`).
+    connections: Option<usize>,
+    /// Max outstanding pipelined requests per keep-alive connection.
+    pipeline: usize,
+    run_closed_loop: bool,
+    run_keep_alive: bool,
     print_scenario: bool,
 }
 
@@ -65,9 +91,13 @@ impl Options {
     fn parse(args: impl Iterator<Item = String>) -> Result<Options, ArgError> {
         let mut opts = Options {
             clients: 8,
-            requests: 50,
-            apps: 16,
+            requests: 100,
+            apps: 8,
             seed: 2014,
+            connections: None,
+            pipeline: 16,
+            run_closed_loop: true,
+            run_keep_alive: true,
             print_scenario: false,
         };
         let mut args = args.peekable();
@@ -76,18 +106,33 @@ impl Options {
             match arg.as_str() {
                 "--quick" => {
                     opts.clients = 4;
-                    opts.requests = 25;
-                    opts.apps = 8;
+                    opts.requests = 50;
+                    opts.apps = 4;
                 }
                 "--clients" => opts.clients = parse_num(&value("--clients")?)?,
                 "--requests" => opts.requests = parse_num(&value("--requests")?)?,
                 "--apps" => opts.apps = parse_num(&value("--apps")?)?,
                 "--seed" => opts.seed = parse_num(&value("--seed")?)?,
+                "--connections" => opts.connections = Some(parse_num(&value("--connections")?)?),
+                "--pipeline" => opts.pipeline = parse_num(&value("--pipeline")?)?,
+                "--keep-alive" => {
+                    opts.run_closed_loop = false;
+                    opts.run_keep_alive = true;
+                }
+                "--closed-loop" => {
+                    opts.run_closed_loop = true;
+                    opts.run_keep_alive = false;
+                }
                 "--print-scenario" => opts.print_scenario = true,
                 other => return Err(ArgError::UnknownFlag(other.to_string())),
             }
         }
-        if opts.clients == 0 || opts.requests == 0 || opts.apps == 0 {
+        if opts.clients == 0
+            || opts.requests == 0
+            || opts.apps == 0
+            || opts.pipeline == 0
+            || opts.connections == Some(0)
+        {
             return Err(ArgError::ZeroCount);
         }
         Ok(opts)
@@ -108,8 +153,212 @@ fn scenario_text(opts: &Options) -> String {
 }
 
 fn percentile_us(sorted: &[u128], pct: usize) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
     let idx = (sorted.len() - 1) * pct / 100;
     sorted[idx]
+}
+
+/// One phase's aggregate numbers.
+struct Phase {
+    total: usize,
+    wall_ms: u128,
+    rps: f64,
+    failures: usize,
+}
+
+/// Closed loop: a fresh connection per request.
+fn closed_loop_phase(addr: SocketAddr, body: &Arc<String>, opts: &Options) -> (Phase, Vec<u128>) {
+    let started = Instant::now();
+    let clients: Vec<_> = (0..opts.clients)
+        .map(|_| {
+            let body = Arc::clone(body);
+            let requests = opts.requests;
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::with_capacity(requests);
+                let mut failures = 0usize;
+                let mut reference: Option<Vec<u8>> = None;
+                for _ in 0..requests {
+                    let sent = Instant::now();
+                    match client::post(addr, "/v1/run", body.as_bytes()) {
+                        Ok(reply) if reply.status == 200 => {
+                            latencies_us.push(sent.elapsed().as_micros());
+                            // Every response in the whole run must be
+                            // byte-identical — the service's core contract.
+                            match &reference {
+                                Some(first) if *first != reply.body => failures += 1,
+                                Some(_) => {}
+                                None => reference = Some(reply.body),
+                            }
+                        }
+                        Ok(_) | Err(_) => failures += 1,
+                    }
+                }
+                (latencies_us, failures)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::new();
+    let mut failures = 0usize;
+    for client in clients {
+        let (lat, fail) = client.join().expect("client thread");
+        latencies_us.extend(lat);
+        failures += fail;
+    }
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+    let total = opts.clients * opts.requests;
+    (
+        Phase {
+            total,
+            wall_ms: wall.as_millis(),
+            rps: total as f64 / wall.as_secs_f64(),
+            failures,
+        },
+        latencies_us,
+    )
+}
+
+/// Per-thread keep-alive results.
+struct KeepAliveClient {
+    cold_us: Vec<u128>,
+    warm_us: Vec<u128>,
+    connections_used: usize,
+    failures: usize,
+}
+
+/// One persistent connection pumping `requests` exchanges with up to
+/// `depth` outstanding. Reconnects if the server closes (request cap);
+/// the first exchange on each connection (including its connect) counts
+/// as cold.
+fn keep_alive_client(
+    addr: SocketAddr,
+    body: &str,
+    requests: usize,
+    depth: usize,
+) -> KeepAliveClient {
+    let mut result = KeepAliveClient {
+        cold_us: Vec::new(),
+        warm_us: Vec::new(),
+        connections_used: 0,
+        failures: 0,
+    };
+    let mut reference: Option<Vec<u8>> = None;
+    let mut completed = 0usize;
+    let mut issued;
+
+    'outer: while completed < requests {
+        let connect_started = Instant::now();
+        let Ok(mut conn) = Conn::connect(addr) else {
+            result.failures += requests - completed;
+            return result;
+        };
+        result.connections_used += 1;
+        let connect_us = connect_started.elapsed().as_micros();
+        let mut fresh = true;
+        let mut sent_at: VecDeque<Instant> = VecDeque::new();
+        // On a reconnect, requests that were outstanding on the closed
+        // connection are re-issued.
+        issued = completed;
+
+        loop {
+            // Refill in bursts: one buffered write per batch, not one
+            // syscall per request (half-window hysteresis keeps the
+            // pipe full without a syscall per completion).
+            if issued < requests && sent_at.len() <= depth / 2 {
+                let batch = depth.saturating_sub(sent_at.len()).min(requests - issued);
+                if batch > 0
+                    && conn
+                        .send_repeated("POST", "/v1/run", &[], body.as_bytes(), batch)
+                        .is_ok()
+                {
+                    let now = Instant::now();
+                    for _ in 0..batch {
+                        sent_at.push_back(now);
+                    }
+                    issued += batch;
+                }
+            }
+            if sent_at.is_empty() {
+                break 'outer; // everything completed
+            }
+            match conn.recv() {
+                Ok(reply) if reply.status == 200 => {
+                    let latency = sent_at
+                        .pop_front()
+                        .map(|t| t.elapsed().as_micros())
+                        .unwrap_or(0);
+                    if fresh {
+                        result.cold_us.push(latency + connect_us);
+                        fresh = false;
+                    } else {
+                        result.warm_us.push(latency);
+                    }
+                    completed += 1;
+                    let capped = reply.closes();
+                    match &reference {
+                        Some(first) if *first != reply.body => result.failures += 1,
+                        Some(_) => {}
+                        None => reference = Some(reply.body),
+                    }
+                    if capped {
+                        continue 'outer; // server capped the connection
+                    }
+                }
+                Ok(_) | Err(_) => {
+                    result.failures += 1;
+                    continue 'outer; // reconnect and re-issue
+                }
+            }
+        }
+    }
+    result
+}
+
+fn keep_alive_phase(
+    addr: SocketAddr,
+    body: &Arc<String>,
+    opts: &Options,
+) -> (Phase, Vec<u128>, Vec<u128>, usize) {
+    let connections = opts.connections.unwrap_or(opts.clients);
+    let started = Instant::now();
+    let clients: Vec<_> = (0..connections)
+        .map(|_| {
+            let body = Arc::clone(body);
+            let requests = opts.requests;
+            let depth = opts.pipeline;
+            std::thread::spawn(move || keep_alive_client(addr, &body, requests, depth))
+        })
+        .collect();
+
+    let mut cold_us = Vec::new();
+    let mut warm_us = Vec::new();
+    let mut connections_used = 0usize;
+    let mut failures = 0usize;
+    for client in clients {
+        let r = client.join().expect("keep-alive client thread");
+        cold_us.extend(r.cold_us);
+        warm_us.extend(r.warm_us);
+        connections_used += r.connections_used;
+        failures += r.failures;
+    }
+    let wall = started.elapsed();
+    cold_us.sort_unstable();
+    warm_us.sort_unstable();
+    let total = connections * opts.requests;
+    (
+        Phase {
+            total,
+            wall_ms: wall.as_millis(),
+            rps: total as f64 / wall.as_secs_f64(),
+            failures,
+        },
+        cold_us,
+        warm_us,
+        connections_used,
+    )
 }
 
 fn main() -> ExitCode {
@@ -138,91 +387,143 @@ fn main() -> ExitCode {
         }
     };
     let addr = handle.addr();
+    let mode = handle.mode().label();
 
     println!(
-        "serve-bench: {} clients × {} requests, MachineMix(apps={}, seed={}) → /v1/run",
-        opts.clients, opts.requests, opts.apps, opts.seed
+        "serve-bench: MachineMix(apps={}, seed={}) → /v1/run, {} front end",
+        opts.apps, opts.seed, mode
     );
 
-    let started = Instant::now();
-    let clients: Vec<_> = (0..opts.clients)
-        .map(|_| {
-            let body = Arc::clone(&body);
-            let requests = opts.requests;
-            std::thread::spawn(move || {
-                let mut latencies_us = Vec::with_capacity(requests);
-                let mut failures = 0usize;
-                let mut reference: Option<Vec<u8>> = None;
-                for _ in 0..requests {
-                    let sent = Instant::now();
-                    match client::post(addr, "/v1/run", body.as_bytes()) {
-                        Ok(reply) if reply.status == 200 => {
-                            latencies_us.push(sent.elapsed().as_micros());
-                            // Every response in the whole run must be
-                            // byte-identical — the service's core contract.
-                            match &reference {
-                                Some(first) if *first != reply.body => failures += 1,
-                                Some(_) => {}
-                                None => reference = Some(reply.body),
-                            }
-                        }
-                        Ok(_) | Err(_) => failures += 1,
-                    }
-                }
-                (latencies_us, failures)
-            })
-        })
-        .collect();
-
-    let mut latencies_us = Vec::with_capacity(opts.clients * opts.requests);
-    let mut failures = 0usize;
-    for client in clients {
-        let (lat, fail) = client.join().expect("client thread");
-        latencies_us.extend(lat);
-        failures += fail;
+    // Unmeasured warm-up: run the one simulation (the cache miss) and a
+    // few exchanges on each path, so both measured phases see the same
+    // fully cached workload — this benchmark compares HTTP front-end
+    // overhead, not simulator throughput.
+    for _ in 0..4 {
+        if let Err(e) = client::post(addr, "/v1/run", body.as_bytes()) {
+            eprintln!("serve-bench: warm-up request failed: {e}");
+            return ExitCode::FAILURE;
+        }
     }
-    let wall = started.elapsed();
+    let warm = keep_alive_client(addr, &body, 16, 8);
+    if warm.failures > 0 {
+        eprintln!("serve-bench: keep-alive warm-up failed");
+        return ExitCode::FAILURE;
+    }
 
-    let total = opts.clients * opts.requests;
+    let mut failures = 0usize;
+    let mut closed: Option<(Phase, Vec<u128>)> = None;
+    if opts.run_closed_loop {
+        println!(
+            "serve-bench: closed loop: {} clients × {} requests, 1 connection/request",
+            opts.clients, opts.requests
+        );
+        let (phase, latencies) = closed_loop_phase(addr, &body, &opts);
+        println!(
+            "serve-bench: closed loop: {} requests in {:.3} s → {:.0} req/s \
+             (p50 = {} µs, p99 = {} µs)",
+            phase.total,
+            phase.wall_ms as f64 / 1e3,
+            phase.rps,
+            percentile_us(&latencies, 50),
+            percentile_us(&latencies, 99),
+        );
+        failures += phase.failures;
+        closed = Some((phase, latencies));
+    }
+
+    let mut keep_alive: Option<(Phase, Vec<u128>, Vec<u128>, usize)> = None;
+    if opts.run_keep_alive {
+        let connections = opts.connections.unwrap_or(opts.clients);
+        println!(
+            "serve-bench: keep-alive: {} connections × {} requests, pipeline depth {}",
+            connections, opts.requests, opts.pipeline
+        );
+        let (phase, cold, warm, used) = keep_alive_phase(addr, &body, &opts);
+        println!(
+            "serve-bench: keep-alive: {} requests in {:.3} s → {:.0} req/s over {} connections \
+             ({:.1} reqs/connection)",
+            phase.total,
+            phase.wall_ms as f64 / 1e3,
+            phase.rps,
+            used,
+            phase.total as f64 / used.max(1) as f64,
+        );
+        println!(
+            "serve-bench: keep-alive: cold p50 = {} µs, cold p99 = {} µs; \
+             warm p50 = {} µs, warm p99 = {} µs",
+            percentile_us(&cold, 50),
+            percentile_us(&cold, 99),
+            percentile_us(&warm, 50),
+            percentile_us(&warm, 99),
+        );
+        if let Some((closed_phase, _)) = &closed {
+            println!(
+                "serve-bench: keep-alive vs closed loop: {:.2}× throughput",
+                phase.rps / closed_phase.rps
+            );
+        }
+        failures += phase.failures;
+        keep_alive = Some((phase, cold, warm, used));
+    }
+
     let hits = handle.service().cache().hits();
     let misses = handle.service().cache().misses();
     handle.shutdown();
 
-    if failures > 0 || latencies_us.is_empty() {
+    let total: usize = closed.as_ref().map(|(p, _)| p.total).unwrap_or(0)
+        + keep_alive.as_ref().map(|(p, ..)| p.total).unwrap_or(0);
+    if failures > 0 || total == 0 {
         eprintln!("serve-bench: {failures} of {total} requests failed");
         return ExitCode::FAILURE;
     }
-    latencies_us.sort_unstable();
-    let rps = total as f64 / wall.as_secs_f64();
-    let p50 = percentile_us(&latencies_us, 50);
-    let p99 = percentile_us(&latencies_us, 99);
-
-    println!(
-        "serve-bench: {} requests in {:.3} s → {:.0} req/s (closed loop)",
-        total,
-        wall.as_secs_f64(),
-        rps
-    );
-    println!("serve-bench: latency p50 = {p50} µs, p99 = {p99} µs");
     println!(
         "serve-bench: response cache {hits} hits / {misses} misses over {} lookups",
         hits + misses
     );
-    println!(
-        "note: serve-json: {{\"clients\":{},\"requests_per_client\":{},\"apps\":{},\
-         \"seed\":{},\"total_requests\":{},\"wall_ms\":{},\"rps\":{:.1},\
-         \"p50_us\":{},\"p99_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
-        opts.clients,
-        opts.requests,
-        opts.apps,
-        opts.seed,
-        total,
-        wall.as_millis(),
-        rps,
-        p50,
-        p99,
-        hits,
-        misses
+
+    // The machine-readable record CI archives.
+    let mut json = format!(
+        "{{\"clients\":{},\"requests_per_client\":{},\"apps\":{},\"seed\":{},\
+         \"pipeline\":{},\"front_end\":\"{}\"",
+        opts.clients, opts.requests, opts.apps, opts.seed, opts.pipeline, mode
     );
+    if let Some((phase, latencies)) = &closed {
+        json.push_str(&format!(
+            ",\"closed_loop\":{{\"total_requests\":{},\"wall_ms\":{},\"rps\":{:.1},\
+             \"p50_us\":{},\"p99_us\":{}}}",
+            phase.total,
+            phase.wall_ms,
+            phase.rps,
+            percentile_us(latencies, 50),
+            percentile_us(latencies, 99),
+        ));
+    }
+    if let Some((phase, cold, warm, used)) = &keep_alive {
+        json.push_str(&format!(
+            ",\"keep_alive\":{{\"total_requests\":{},\"wall_ms\":{},\"rps\":{:.1},\
+             \"connections\":{},\"reqs_per_connection\":{:.1},\
+             \"cold_p50_us\":{},\"cold_p99_us\":{},\"warm_p50_us\":{},\"warm_p99_us\":{}",
+            phase.total,
+            phase.wall_ms,
+            phase.rps,
+            used,
+            phase.total as f64 / (*used).max(1) as f64,
+            percentile_us(cold, 50),
+            percentile_us(cold, 99),
+            percentile_us(warm, 50),
+            percentile_us(warm, 99),
+        ));
+        if let Some((closed_phase, _)) = &closed {
+            json.push_str(&format!(
+                ",\"speedup_vs_closed_loop\":{:.2}",
+                phase.rps / closed_phase.rps
+            ));
+        }
+        json.push('}');
+    }
+    json.push_str(&format!(
+        ",\"cache_hits\":{hits},\"cache_misses\":{misses}}}"
+    ));
+    println!("note: serve-json: {json}");
     ExitCode::SUCCESS
 }

@@ -209,21 +209,116 @@ pub fn run_scenarios_sharded(
         })
         .collect::<Result<Vec<_>, Error>>()?;
     parallel_map_owned(jobs, shards, |(session, scenario)| {
-        let started = Instant::now();
-        let report = session.execute()?;
-        let wall = started.elapsed();
-        let mut alone = BTreeMap::new();
-        for app in &scenario.apps {
-            alone.insert(app.id, cache.alone_time(app, &scenario.pfs)?);
-        }
-        Ok(ShardedRun {
-            report,
-            alone,
-            wall,
-        })
+        execute_sharded_job(session, scenario, cache)
     })
     .into_iter()
     .collect()
+}
+
+/// [`run_scenarios_sharded`] with incremental delivery: results are
+/// handed to `sink` **in input order**, each as soon as it (and every
+/// earlier one) has finished, instead of materializing the full result
+/// vector. This is what lets `calciom-serve` stream a machine-scale
+/// `/v1/batch` response while later shards are still simulating.
+///
+/// The contract mirrors the materialized variant: every session is built
+/// up front, so a configuration error in *any* scenario returns `Err`
+/// before `sink` sees a single result. A runtime [`Error`] aborts the
+/// stream — `sink` has then been called for some prefix of the inputs
+/// (possibly empty) and the error is returned. Each delivered
+/// [`ShardedRun`] is bit-identical to the one [`run_scenarios_sharded`]
+/// would have produced at the same index.
+pub fn run_scenarios_sharded_streamed(
+    scenarios: &[Scenario],
+    shards: usize,
+    cache: &BaselineCache,
+    mut sink: impl FnMut(ShardedRun),
+) -> Result<(), Error> {
+    let jobs = scenarios
+        .iter()
+        .map(|scenario| {
+            Ok((
+                Session::<SharedTransport>::with_transport(scenario)?,
+                scenario,
+            ))
+        })
+        .collect::<Result<Vec<_>, Error>>()?;
+    let n = jobs.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let workers = worker_count(shards, n);
+    let chunk = n.div_ceil(workers);
+
+    // Contiguous chunks, exactly like parallel_map_owned, but each worker
+    // reports through a channel the moment a job finishes; the calling
+    // thread reorders into input order and feeds the sink.
+    type IndexedJob<'a> = (usize, (Session<SharedTransport>, &'a Scenario));
+    let mut chunks: Vec<Vec<IndexedJob<'_>>> = Vec::new();
+    for (i, job) in jobs.into_iter().enumerate() {
+        if i % chunk == 0 {
+            chunks.push(Vec::with_capacity(chunk));
+        }
+        if let Some(last) = chunks.last_mut() {
+            last.push((i, job));
+        }
+    }
+
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<ShardedRun, Error>)>();
+    thread::scope(|scope| {
+        for batch in chunks {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for (index, (session, scenario)) in batch {
+                    let result = execute_sharded_job(session, scenario, cache);
+                    // A send failure means the receiver gave up (an
+                    // earlier shard errored); stop simulating.
+                    if tx.send((index, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut done: BTreeMap<usize, ShardedRun> = BTreeMap::new();
+        let mut next = 0usize;
+        for (index, result) in rx {
+            match result {
+                Ok(run) => {
+                    done.insert(index, run);
+                }
+                Err(e) => return Err(e),
+            }
+            while let Some(run) = done.remove(&next) {
+                sink(run);
+                next += 1;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Executes one scenario of a sharded sweep and resolves its baselines —
+/// the shared body of [`run_scenarios_sharded`] and
+/// [`run_scenarios_sharded_streamed`].
+fn execute_sharded_job(
+    session: Session<SharedTransport>,
+    scenario: &Scenario,
+    cache: &BaselineCache,
+) -> Result<ShardedRun, Error> {
+    let started = Instant::now();
+    let report = session.execute()?;
+    let wall = started.elapsed();
+    let mut alone = BTreeMap::new();
+    for app in &scenario.apps {
+        alone.insert(app.id, cache.alone_time(app, &scenario.pfs)?);
+    }
+    Ok(ShardedRun {
+        report,
+        alone,
+        wall,
+    })
 }
 
 fn worker_count(max_threads: usize, items: usize) -> usize {

@@ -6,6 +6,27 @@
 //! offending variable, so a typo in a deployment manifest fails the boot
 //! instead of silently running with a default.
 
+/// Which front end drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReactorMode {
+    /// Readiness-driven: one reactor thread multiplexes every connection
+    /// over `epoll`, simulation work goes to the worker pool. Linux only.
+    Epoll,
+    /// Portable fallback: a bounded pool of blocking worker threads, one
+    /// connection per worker at a time (still keep-alive capable).
+    Threads,
+}
+
+impl ReactorMode {
+    /// Stable label (`epoll` / `threads`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReactorMode::Epoll => "epoll",
+            ReactorMode::Threads => "threads",
+        }
+    }
+}
+
 /// Tunable limits and sizing of one server process.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -31,6 +52,33 @@ pub struct ServeConfig {
     /// (`CALCIOM_MAX_HORIZON`, default 7 simulated days). A scenario
     /// asking for more is rejected `422` before it can wedge a worker.
     pub max_horizon_secs: f64,
+    /// Requested front end (`CALCIOM_REACTOR`, `epoll` or `threads`;
+    /// unset picks `epoll` where available). Resolved by
+    /// [`ServeConfig::reactor_mode`], which falls back to threads on
+    /// non-Linux hosts regardless of the request.
+    pub reactor: Option<ReactorMode>,
+    /// Maximum requests served on one connection before the server
+    /// forces `Connection: close` (`CALCIOM_MAX_REQUESTS`, default 1000;
+    /// 0 means unlimited). Bounds how long one client can pin server
+    /// state, and gives load balancers a natural rebalancing point.
+    pub max_requests_per_conn: usize,
+    /// How long a connection may sit idle *between* requests before the
+    /// server closes it (`CALCIOM_IDLE_TIMEOUT_MS`, default 5000 ms).
+    pub idle_timeout_ms: u64,
+    /// How long a client may dribble *inside* one request head/body
+    /// before the server answers `408` and closes — the slow-loris
+    /// defense (`CALCIOM_HEADER_TIMEOUT_MS`, default 10000 ms).
+    pub header_timeout_ms: u64,
+    /// `/v1/batch` responses stream chunked output once the batch's
+    /// total application count reaches this threshold
+    /// (`CALCIOM_STREAM_APPS`, default 512; 0 disables size-triggered
+    /// streaming). `?stream=1` / `?stream=0` override per request.
+    pub stream_apps: usize,
+    /// Maximum concurrently open connections (`CALCIOM_MAX_CONNS`,
+    /// default 1024). The epoll reactor stops accepting while at the
+    /// cap, so a connection flood queues in the OS listen backlog
+    /// instead of growing process state.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +90,12 @@ impl Default for ServeConfig {
             max_body: 4 << 20,
             cache_cap: 256,
             max_horizon_secs: 7.0 * 86_400.0,
+            reactor: None,
+            max_requests_per_conn: 1000,
+            idle_timeout_ms: 5_000,
+            header_timeout_ms: 10_000,
+            stream_apps: 512,
+            max_conns: 1024,
         }
     }
 }
@@ -82,6 +136,40 @@ impl ServeConfig {
                 value: format!("{}", config.max_horizon_secs),
             });
         }
+        config.reactor = match read("CALCIOM_REACTOR").as_deref() {
+            None | Some("auto") => None,
+            Some("epoll") => Some(ReactorMode::Epoll),
+            Some("threads") => Some(ReactorMode::Threads),
+            Some(other) => {
+                return Err(ServeConfigError {
+                    var: "CALCIOM_REACTOR",
+                    value: other.to_string(),
+                })
+            }
+        };
+        config.max_requests_per_conn =
+            parsed("CALCIOM_MAX_REQUESTS", config.max_requests_per_conn)?;
+        config.idle_timeout_ms = parsed("CALCIOM_IDLE_TIMEOUT_MS", config.idle_timeout_ms)?;
+        config.header_timeout_ms = parsed("CALCIOM_HEADER_TIMEOUT_MS", config.header_timeout_ms)?;
+        for (var, value) in [
+            ("CALCIOM_IDLE_TIMEOUT_MS", config.idle_timeout_ms),
+            ("CALCIOM_HEADER_TIMEOUT_MS", config.header_timeout_ms),
+        ] {
+            if value == 0 {
+                return Err(ServeConfigError {
+                    var,
+                    value: "0".to_string(),
+                });
+            }
+        }
+        config.stream_apps = parsed("CALCIOM_STREAM_APPS", config.stream_apps)?;
+        config.max_conns = parsed("CALCIOM_MAX_CONNS", config.max_conns)?;
+        if config.max_conns == 0 {
+            return Err(ServeConfigError {
+                var: "CALCIOM_MAX_CONNS",
+                value: "0".to_string(),
+            });
+        }
         Ok(config)
     }
 
@@ -93,6 +181,32 @@ impl ServeConfig {
     /// The effective default shard count (resolves `0` to the core count).
     pub fn effective_shards(&self) -> usize {
         resolve_auto(self.shards)
+    }
+
+    /// The front end actually used: the configured one where supported,
+    /// else the portable threads fallback. `epoll` only exists on Linux,
+    /// so every other host resolves to [`ReactorMode::Threads`] no
+    /// matter what was requested.
+    pub fn reactor_mode(&self) -> ReactorMode {
+        if !cfg!(target_os = "linux") {
+            return ReactorMode::Threads;
+        }
+        self.reactor.unwrap_or(ReactorMode::Epoll)
+    }
+
+    /// The per-connection request cap as an `Option` (0 = unlimited).
+    pub fn request_cap(&self) -> Option<usize> {
+        (self.max_requests_per_conn != 0).then_some(self.max_requests_per_conn)
+    }
+
+    /// The idle (between-requests) timeout.
+    pub fn idle_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.idle_timeout_ms)
+    }
+
+    /// The mid-request (slow-loris) timeout.
+    pub fn header_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.header_timeout_ms)
     }
 }
 
@@ -128,6 +242,33 @@ mod tests {
         assert!(c.cache_cap > 0);
         assert!(c.effective_workers() >= 1);
         assert!(c.effective_shards() >= 1);
+        assert!(c.max_requests_per_conn >= 1);
+        assert!(c.idle_timeout().as_millis() > 0);
+        assert!(c.header_timeout() >= c.idle_timeout());
+        assert!(c.max_conns >= 64);
+    }
+
+    #[test]
+    fn reactor_resolution_prefers_epoll_on_linux_only() {
+        let c = ServeConfig::default();
+        if cfg!(target_os = "linux") {
+            assert_eq!(c.reactor_mode(), ReactorMode::Epoll);
+        } else {
+            assert_eq!(c.reactor_mode(), ReactorMode::Threads);
+        }
+        let forced = ServeConfig {
+            reactor: Some(ReactorMode::Threads),
+            ..ServeConfig::default()
+        };
+        assert_eq!(forced.reactor_mode(), ReactorMode::Threads);
+    }
+
+    #[test]
+    fn request_cap_treats_zero_as_unlimited() {
+        let mut c = ServeConfig::default();
+        assert_eq!(c.request_cap(), Some(c.max_requests_per_conn));
+        c.max_requests_per_conn = 0;
+        assert_eq!(c.request_cap(), None);
     }
 
     #[test]

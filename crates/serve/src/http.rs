@@ -1,38 +1,39 @@
-//! Hand-rolled HTTP/1.1 request parser and response writer.
+//! Hand-rolled HTTP/1.1 wire layer: an incremental request parser and a
+//! keep-alive-aware response writer.
 //!
 //! The crate registry is unreachable in this build environment (see
 //! `vendor/README.md`), so the wire layer is implemented directly over
-//! [`std::io`] in the same vendoring philosophy: the *minimal* slice of
+//! byte buffers in the same vendoring philosophy: the *minimal* slice of
 //! HTTP/1.1 the service needs, written defensively.
 //!
-//! * Requests are `method path[?query] HTTP/1.x` + headers + an optional
-//!   `Content-Length` body. Header blocks are capped at
-//!   [`MAX_HEAD_BYTES`]; bodies are capped by the caller-supplied limit
-//!   *before* the body is read, so an oversized upload is rejected
-//!   without draining the stream ([`HttpError::BodyTooLarge`] → `413`).
-//! * Responses always carry `Content-Length` and `Connection: close`;
-//!   every connection serves exactly one exchange. Keeping connection
-//!   lifetime equal to request lifetime is what makes the worker pool's
-//!   accounting trivial — a hostile client can hold at most one worker,
-//!   and only for [`IO_TIMEOUT`].
+//! * [`RequestParser`] is a resumable state machine over a per-connection
+//!   buffer: bytes go in via [`RequestParser::feed`] in whatever pieces
+//!   the socket delivers them, complete requests come out via
+//!   [`RequestParser::next_request`]. One read may yield several
+//!   pipelined requests; a partial request is carried across reads. The
+//!   head is capped at [`MAX_HEAD_BYTES`]; bodies are capped by the
+//!   configured limit *before* any body byte is consumed
+//!   ([`HttpError::BodyTooLarge`] → `413`).
+//! * Responses carry explicit `Content-Length` + `Connection` framing
+//!   ([`Response::serialize`]), so one connection can carry many
+//!   exchanges; [`Response::serialize_chunked_head`] plus
+//!   [`chunk_frame`]/[`CHUNK_END`] frame streamed bodies with
+//!   `Transfer-Encoding: chunked`.
+//!
+//! Connection lifetime policy (idle/header timeouts, requests-per-
+//! connection cap) lives in the transports ([`crate::reactor`],
+//! [`crate::server`]); this module only parses and frames.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
 
 /// Cap on the request line + headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-
-/// Per-connection read/write timeout: a client that stops mid-request
-/// frees its worker after this long.
-pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A problem reading or parsing one request. Each variant maps to one
 /// response status (see [`HttpError::status`]).
 #[derive(Debug)]
 pub enum HttpError {
-    /// The socket failed or timed out mid-exchange.
+    /// The socket failed mid-exchange.
     Io(std::io::Error),
     /// The request line was not `METHOD target HTTP/1.x`.
     BadRequestLine(String),
@@ -51,6 +52,9 @@ pub enum HttpError {
         /// The configured cap.
         limit: usize,
     },
+    /// The client stalled mid-request past the header timeout (the
+    /// slow-loris defense; raised by the transports, not the parser).
+    Timeout,
 }
 
 impl HttpError {
@@ -62,6 +66,7 @@ impl HttpError {
             HttpError::HeadTooLarge => 431,
             HttpError::LengthRequired => 411,
             HttpError::BodyTooLarge { .. } => 413,
+            HttpError::Timeout => 408,
         }
     }
 }
@@ -87,6 +92,7 @@ impl std::fmt::Display for HttpError {
                     "declared body of {declared} bytes exceeds the {limit}-byte limit"
                 )
             }
+            HttpError::Timeout => write!(f, "client stalled mid-request past the header timeout"),
         }
     }
 }
@@ -141,6 +147,17 @@ impl Request {
     }
 }
 
+/// One request as it came off the wire, with the connection decision the
+/// head implies: `close` is true when the client sent
+/// `Connection: close`, or spoke HTTP/1.0 without asking for keep-alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// The parsed request.
+    pub request: Request,
+    /// Whether the connection must close after this exchange.
+    pub close: bool,
+}
+
 /// Decodes `%XX` escapes and `+` spaces. Returns `None` on a truncated
 /// or non-hex escape.
 pub fn percent_decode(text: &str) -> Option<String> {
@@ -177,16 +194,155 @@ fn hex_val(b: u8) -> Option<u8> {
     }
 }
 
-/// Reads and parses one request from `stream`. `max_body` bounds the
-/// body; a larger declared `Content-Length` errors *before* any body
-/// byte is read.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut reader = BufReader::new(stream);
+/// Where the parser is inside the current request.
+enum ParseState {
+    /// Accumulating the request line + headers, waiting for the blank
+    /// line.
+    Head,
+    /// Head parsed; waiting for `remaining` more body bytes.
+    Body {
+        request: Request,
+        close: bool,
+        remaining: usize,
+    },
+}
 
-    let mut head_budget = MAX_HEAD_BYTES;
-    let request_line = read_line(&mut reader, &mut head_budget)?;
+/// Incremental, resumable HTTP/1.1 request parser over a per-connection
+/// buffer.
+///
+/// Feed it whatever the socket delivers; pull complete requests until it
+/// returns `Ok(None)` (needs more bytes). A parse error poisons the
+/// connection — the caller must respond with [`HttpError::status`] and
+/// close, because the byte stream can no longer be framed.
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted after each parsed request).
+    start: usize,
+    state: ParseState,
+    max_body: usize,
+}
+
+impl RequestParser {
+    /// A fresh parser enforcing `max_body` on request bodies.
+    pub fn new(max_body: usize) -> Self {
+        RequestParser {
+            buf: Vec::new(),
+            start: 0,
+            state: ParseState::Head,
+            max_body,
+        }
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the parser sits *between* requests (nothing buffered,
+    /// nothing partial) — the distinction between the idle timeout and
+    /// the header (slow-loris) timeout.
+    pub fn is_between_requests(&self) -> bool {
+        matches!(self.state, ParseState::Head) && self.buf.len() == self.start
+    }
+
+    /// Pulls the next complete request out of the buffer, or `Ok(None)`
+    /// when more bytes are needed.
+    pub fn next_request(&mut self) -> Result<Option<ParsedRequest>, HttpError> {
+        loop {
+            match &mut self.state {
+                ParseState::Head => {
+                    // Tolerate blank lines between pipelined requests
+                    // (RFC 9112 §2.2 says to ignore them).
+                    while matches!(self.buf.get(self.start), Some(b'\r' | b'\n')) {
+                        self.start += 1;
+                    }
+                    let pending = &self.buf[self.start..];
+                    let Some(head_len) = find_head_end(pending) else {
+                        if pending.len() > MAX_HEAD_BYTES {
+                            return Err(HttpError::HeadTooLarge);
+                        }
+                        self.compact();
+                        return Ok(None);
+                    };
+                    if head_len > MAX_HEAD_BYTES {
+                        return Err(HttpError::HeadTooLarge);
+                    }
+                    let (request, close) = parse_head(&pending[..head_len])?;
+                    self.start += head_len;
+                    let remaining = declared_body_len(&request, self.max_body)?;
+                    self.state = ParseState::Body {
+                        request,
+                        close,
+                        remaining,
+                    };
+                }
+                ParseState::Body {
+                    request,
+                    close,
+                    remaining,
+                } => {
+                    let available = self.buf.len() - self.start;
+                    if available < *remaining {
+                        self.compact();
+                        return Ok(None);
+                    }
+                    let body = self.buf[self.start..self.start + *remaining].to_vec();
+                    self.start += *remaining;
+                    let mut request = std::mem::replace(
+                        request,
+                        Request {
+                            method: String::new(),
+                            path: String::new(),
+                            query: String::new(),
+                            headers: BTreeMap::new(),
+                            body: Vec::new(),
+                        },
+                    );
+                    request.body = body;
+                    let close = *close;
+                    self.state = ParseState::Head;
+                    self.compact();
+                    return Ok(Some(ParsedRequest { request, close }));
+                }
+            }
+        }
+    }
+
+    /// Drops the consumed prefix so the buffer stays bounded by one
+    /// in-progress request, not the connection's lifetime traffic.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Finds the end of the head (one past the blank line), accepting both
+/// CRLF and bare-LF line endings.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            match bytes.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if bytes.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the request line + headers; returns the (bodiless) request and
+/// the connection-close decision its head implies.
+fn parse_head(head: &[u8]) -> Result<(Request, bool), HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::BadRequestLine("<non-UTF-8 head>".to_string()))?;
+    let mut lines = text.split('\n').map(|l| l.trim_end_matches('\r'));
+
+    let request_line = lines.next().unwrap_or("").to_string();
     let mut parts = request_line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/1.") => {
@@ -194,19 +350,25 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         }
         _ => return Err(HttpError::BadRequestLine(request_line)),
     };
-    let _ = version;
+    let http_10 = version == "HTTP/1.0";
 
     let mut headers = BTreeMap::new();
-    loop {
-        let line = read_line(&mut reader, &mut head_budget)?;
+    for line in lines {
         if line.is_empty() {
-            break;
+            continue;
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+            .ok_or_else(|| HttpError::BadHeader(line.to_string()))?;
         headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
     }
+
+    let connection = headers
+        .get("connection")
+        .map(|v| v.to_ascii_lowercase())
+        .unwrap_or_default();
+    let close = connection.split(',').any(|t| t.trim() == "close")
+        || (http_10 && !connection.split(',').any(|t| t.trim() == "keep-alive"));
 
     let (raw_path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q.to_string()),
@@ -214,53 +376,39 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     };
     let path = percent_decode(raw_path).unwrap_or_else(|| raw_path.to_string());
 
-    let body = if method == "POST" || method == "PUT" {
-        let declared: usize = headers
-            .get("content-length")
-            .and_then(|v| v.parse().ok())
-            .ok_or(HttpError::LengthRequired)?;
-        if declared > max_body {
-            return Err(HttpError::BodyTooLarge {
-                declared,
-                limit: max_body,
-            });
-        }
-        let mut body = vec![0u8; declared];
-        reader.read_exact(&mut body)?;
-        body
-    } else {
-        Vec::new()
-    };
-
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    })
+    Ok((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+        },
+        close,
+    ))
 }
 
-/// Reads one CRLF- (or LF-) terminated line, charging it against the
-/// shared head budget.
-fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, HttpError> {
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Err(HttpError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "connection closed mid-request",
-        )));
+/// The declared body length a parsed head commits the stream to, checked
+/// against the configured cap before a single body byte is consumed.
+fn declared_body_len(request: &Request, max_body: usize) -> Result<usize, HttpError> {
+    if request.method != "POST" && request.method != "PUT" {
+        return Ok(0);
     }
-    *budget = budget.checked_sub(n).ok_or(HttpError::HeadTooLarge)?;
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
+    let declared: usize = request
+        .headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or(HttpError::LengthRequired)?;
+    if declared > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
     }
-    Ok(line)
+    Ok(declared)
 }
 
-/// One response, always written with `Content-Length` and
-/// `Connection: close`.
+/// One response, framed on the way out by [`Response::serialize`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code (`200`, `404`, …).
@@ -269,6 +417,21 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
+}
+
+/// Terminal frame of a chunked body: the zero-length chunk.
+pub const CHUNK_END: &[u8] = b"0\r\n\r\n";
+
+/// Frames one chunk of a `Transfer-Encoding: chunked` body. Empty input
+/// produces no frame (an empty chunk would terminate the body).
+pub fn chunk_frame(data: &[u8]) -> Vec<u8> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut out = format!("{:x}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
 }
 
 impl Response {
@@ -295,6 +458,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             411 => "Length Required",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
@@ -304,8 +468,7 @@ impl Response {
         }
     }
 
-    /// Serializes status line + headers + body to the wire.
-    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+    fn head_prefix(&self) -> String {
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -313,12 +476,45 @@ impl Response {
             head.push_str(value);
             head.push_str("\r\n");
         }
-        head.push_str(&format!(
-            "content-length: {}\r\nconnection: close\r\n\r\n",
-            self.body.len()
-        ));
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        head
+    }
+
+    /// Serializes the full response with `Content-Length` framing and the
+    /// given `Connection` decision.
+    pub fn serialize(&self, close: bool) -> Vec<u8> {
+        let mut out = self.head_prefix().into_bytes();
+        out.extend_from_slice(
+            format!(
+                "content-length: {}\r\nconnection: {}\r\n\r\n",
+                self.body.len(),
+                if close { "close" } else { "keep-alive" }
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes status line + headers for a streamed response: chunked
+    /// transfer coding, no `Content-Length`. The body (which must be
+    /// empty here) follows as [`chunk_frame`]s ending in [`CHUNK_END`].
+    pub fn serialize_chunked_head(&self, close: bool) -> Vec<u8> {
+        let mut out = self.head_prefix().into_bytes();
+        out.extend_from_slice(
+            format!(
+                "transfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+                if close { "close" } else { "keep-alive" }
+            )
+            .as_bytes(),
+        );
+        out
+    }
+
+    /// Serializes status line + headers + body to the wire with
+    /// `Connection: close` framing — the one-exchange path (error
+    /// responses, the threads fallback's final exchange).
+    pub fn write_to(&self, stream: &mut impl std::io::Write) -> std::io::Result<()> {
+        stream.write_all(&self.serialize(true))?;
         stream.flush()
     }
 }
@@ -326,6 +522,14 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse_all(parser: &mut RequestParser) -> Vec<ParsedRequest> {
+        let mut out = Vec::new();
+        while let Some(parsed) = parser.next_request().expect("parses") {
+            out.push(parsed);
+        }
+        out
+    }
 
     #[test]
     fn percent_decoding_handles_escapes_and_rejects_broken_ones() {
@@ -352,19 +556,138 @@ mod tests {
     }
 
     #[test]
-    fn responses_serialize_with_length_and_close() {
+    fn parses_a_complete_request_in_one_feed() {
+        let mut parser = RequestParser::new(1024);
+        parser
+            .feed(b"POST /v1/run?policy=fcfs HTTP/1.1\r\nhost: t\r\ncontent-length: 4\r\n\r\nbody");
+        let parsed = parser.next_request().unwrap().expect("complete");
+        assert_eq!(parsed.request.method, "POST");
+        assert_eq!(parsed.request.path, "/v1/run");
+        assert_eq!(parsed.request.query, "policy=fcfs");
+        assert_eq!(parsed.request.body, b"body");
+        assert!(!parsed.close, "HTTP/1.1 defaults to keep-alive");
+        assert!(parser.next_request().unwrap().is_none());
+        assert!(parser.is_between_requests());
+    }
+
+    #[test]
+    fn resumes_across_arbitrary_byte_boundaries() {
+        let wire = b"POST /v1/run HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        for split in 1..wire.len() {
+            let mut parser = RequestParser::new(64);
+            parser.feed(&wire[..split]);
+            let first = parser.next_request().unwrap();
+            parser.feed(&wire[split..]);
+            let parsed = match first {
+                Some(p) => p,
+                None => parser.next_request().unwrap().expect("complete after rest"),
+            };
+            assert_eq!(parsed.request.body, b"hello", "split at {split}");
+            assert!(!parser.is_between_requests() || parser.next_request().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut parser = RequestParser::new(64);
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nPOST /c HTTP/1.1\r\ncontent-length: 2\r\n\r\nok");
+        let parsed = parse_all(&mut parser);
+        assert_eq!(
+            parsed
+                .iter()
+                .map(|p| p.request.path.as_str())
+                .collect::<Vec<_>>(),
+            vec!["/a", "/b", "/c"]
+        );
+        assert_eq!(parsed[2].request.body, b"ok");
+        assert!(parser.is_between_requests());
+    }
+
+    #[test]
+    fn connection_close_and_http_10_are_detected() {
+        let mut parser = RequestParser::new(64);
+        parser.feed(b"GET /a HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(parser.next_request().unwrap().unwrap().close);
+
+        let mut parser = RequestParser::new(64);
+        parser.feed(b"GET /a HTTP/1.0\r\n\r\n");
+        assert!(
+            parser.next_request().unwrap().unwrap().close,
+            "1.0 defaults to close"
+        );
+
+        let mut parser = RequestParser::new(64);
+        parser.feed(b"GET /a HTTP/1.0\r\nconnection: keep-alive\r\n\r\n");
+        assert!(!parser.next_request().unwrap().unwrap().close);
+    }
+
+    #[test]
+    fn oversized_declared_body_errors_before_body_bytes_arrive() {
+        let mut parser = RequestParser::new(16);
+        parser.feed(b"POST /v1/run HTTP/1.1\r\ncontent-length: 1048576\r\n\r\n");
+        match parser.next_request() {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert_eq!(declared, 1048576);
+                assert_eq!(limit, 16);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_without_content_length_is_length_required() {
+        let mut parser = RequestParser::new(16);
+        parser.feed(b"POST /v1/run HTTP/1.1\r\n\r\n");
+        assert!(matches!(
+            parser.next_request(),
+            Err(HttpError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn unbounded_head_is_rejected() {
+        let mut parser = RequestParser::new(16);
+        parser.feed(b"GET /a HTTP/1.1\r\n");
+        let filler = format!("x-junk: {}\r\n", "a".repeat(4096));
+        for _ in 0..8 {
+            parser.feed(filler.as_bytes());
+        }
+        assert!(matches!(
+            parser.next_request(),
+            Err(HttpError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection_framing() {
+        let response = Response::with_body(200, "application/json", "{}").header("etag", "\"abc\"");
+        let close = String::from_utf8(response.serialize(true)).unwrap();
+        assert!(close.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(close.contains("content-type: application/json\r\n"));
+        assert!(close.contains("etag: \"abc\"\r\n"));
+        assert!(close.contains("content-length: 2\r\n"));
+        assert!(close.contains("connection: close\r\n"));
+        assert!(close.ends_with("\r\n\r\n{}"));
+
+        let keep = String::from_utf8(response.serialize(false)).unwrap();
+        assert!(keep.contains("connection: keep-alive\r\n"));
+
         let mut out = Vec::new();
-        Response::with_body(200, "application/json", "{}")
-            .header("etag", "\"abc\"")
-            .write_to(&mut out)
-            .unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
-        assert!(text.contains("content-type: application/json\r\n"));
-        assert!(text.contains("etag: \"abc\"\r\n"));
-        assert!(text.contains("content-length: 2\r\n"));
-        assert!(text.contains("connection: close\r\n"));
-        assert!(text.ends_with("\r\n\r\n{}"));
+        response.write_to(&mut out).unwrap();
+        assert_eq!(out, response.serialize(true));
+    }
+
+    #[test]
+    fn chunked_head_and_frames() {
+        let head = Response::with_body(200, "application/json", "").serialize_chunked_head(false);
+        let head = String::from_utf8(head).unwrap();
+        assert!(head.contains("transfer-encoding: chunked\r\n"));
+        assert!(head.contains("connection: keep-alive\r\n"));
+        assert!(!head.contains("content-length"));
+
+        assert_eq!(chunk_frame(b"hello"), b"5\r\nhello\r\n");
+        assert!(chunk_frame(b"").is_empty());
+        assert_eq!(CHUNK_END, b"0\r\n\r\n");
     }
 
     #[test]
@@ -380,5 +703,6 @@ mod tests {
         assert_eq!(HttpError::LengthRequired.status(), 411);
         assert_eq!(HttpError::HeadTooLarge.status(), 431);
         assert_eq!(HttpError::BadRequestLine(String::new()).status(), 400);
+        assert_eq!(HttpError::Timeout.status(), 408);
     }
 }

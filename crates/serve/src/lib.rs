@@ -31,24 +31,35 @@
 //! runtime simulation failures `500`; the server never panics on a
 //! request.
 //!
+//! Connections are persistent: HTTP/1.1 keep-alive with pipelining, an
+//! idle timeout between requests, a slow-loris (header) timeout inside
+//! them, and a requests-per-connection cap. Machine-scale `/v1/batch`
+//! responses stream `Transfer-Encoding: chunked` output as shard
+//! results complete (`?stream=1/0` overrides). Two front ends serve the
+//! same surface: an epoll reactor ([`reactor`], Linux, the default) and
+//! a portable blocking thread pool (`CALCIOM_REACTOR=threads`).
+//!
 //! Everything is built on `std` only (TCP listener, bounded
-//! worker-thread pool, hand-rolled HTTP/1.1 subset) — the same
-//! vendoring philosophy as the rest of the workspace, because the
-//! crate registry is unreachable at build time.
+//! worker-thread pool, hand-rolled HTTP/1.1 subset, raw `epoll` FFI) —
+//! the same vendoring philosophy as the rest of the workspace, because
+//! the crate registry is unreachable at build time.
 
 pub mod cache;
 pub mod client;
 pub mod config;
+pub mod conn;
 pub mod http;
 pub mod json;
 pub mod log;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod service;
 
 pub use cache::{CachedResponse, ResponseCache};
-pub use client::HttpReply;
-pub use config::{ServeConfig, ServeConfigError};
-pub use http::{HttpError, Request, Response};
+pub use client::{Conn, HttpReply};
+pub use config::{ReactorMode, ServeConfig, ServeConfigError};
+pub use http::{HttpError, ParsedRequest, Request, RequestParser, Response};
 pub use log::{BufferLog, CacheOutcome, RequestLog, RequestRecord, StderrLog};
 pub use server::{start, ServerHandle, ShutdownSignal};
-pub use service::Service;
+pub use service::{CollectSink, ResponsePart, ResponseSink, Service};

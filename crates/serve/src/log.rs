@@ -12,6 +12,10 @@ use std::time::Duration;
 /// Everything one log line carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestRecord {
+    /// Server-assigned connection id — the keep-alive reuse signal: all
+    /// requests served over one persistent connection share it. `None`
+    /// for requests handled off-socket (unit tests, direct calls).
+    pub conn: Option<u64>,
     /// Request method (`GET`, `POST`, …).
     pub method: String,
     /// Request path (query string excluded).
@@ -64,8 +68,12 @@ impl RequestRecord {
             Some(outcome) => outcome.label(),
             None => "-",
         };
+        let conn = match self.conn {
+            Some(id) => id.to_string(),
+            None => "-".to_string(),
+        };
         format!(
-            "method={} path={} scenario={} shards={} status={} events={} wall_us={} cache={}",
+            "method={} path={} scenario={} shards={} status={} events={} wall_us={} cache={} conn={}",
             self.method,
             self.path,
             scenario,
@@ -73,7 +81,8 @@ impl RequestRecord {
             self.status,
             self.events,
             self.wall.as_micros(),
-            cache
+            cache,
+            conn
         )
     }
 }
@@ -133,6 +142,7 @@ mod tests {
     #[test]
     fn line_has_fixed_columns() {
         let record = RequestRecord {
+            conn: Some(7),
             method: "POST".to_string(),
             path: "/v1/run".to_string(),
             scenario_hash: Some(0xabc),
@@ -145,13 +155,14 @@ mod tests {
         assert_eq!(
             record.line(),
             "method=POST path=/v1/run scenario=0000000000000abc shards=- \
-             status=200 events=42 wall_us=1234 cache=miss"
+             status=200 events=42 wall_us=1234 cache=miss conn=7"
         );
     }
 
     #[test]
     fn absent_fields_render_as_dashes() {
         let record = RequestRecord {
+            conn: None,
             method: "GET".to_string(),
             path: "/healthz".to_string(),
             scenario_hash: None,
@@ -163,13 +174,14 @@ mod tests {
         };
         let line = record.line();
         assert!(line.contains("scenario=- shards=-"));
-        assert!(line.ends_with("cache=-"));
+        assert!(line.ends_with("cache=- conn=-"));
     }
 
     #[test]
     fn buffer_log_collects() {
         let log = BufferLog::new();
         log.record(&RequestRecord {
+            conn: None,
             method: "GET".to_string(),
             path: "/healthz".to_string(),
             scenario_hash: None,

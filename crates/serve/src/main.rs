@@ -25,13 +25,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let config = handle.service().config();
     eprintln!(
-        "calciom-serve: listening on http://{} ({} workers, {} default shards, {} body cap, cache {})",
+        "calciom-serve: listening on http://{} ({} front end, {} workers, {} default shards, \
+         {} body cap, cache {}, idle {}ms, header {}ms, {} reqs/conn)",
         handle.addr(),
-        handle.service().config().effective_workers(),
-        handle.service().config().effective_shards(),
-        handle.service().config().max_body,
-        handle.service().config().cache_cap,
+        handle.mode().label(),
+        config.effective_workers(),
+        config.effective_shards(),
+        config.max_body,
+        config.cache_cap,
+        config.idle_timeout_ms,
+        config.header_timeout_ms,
+        config.max_requests_per_conn,
     );
 
     let signal = handle.signal();

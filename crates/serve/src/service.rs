@@ -1,10 +1,14 @@
 //! The request → response core of the service, socket-free.
 //!
-//! [`Service::handle`] maps one parsed [`Request`] to one [`Response`]
-//! and writes one structured log line. Keeping it free of sockets means
-//! the whole endpoint surface (routing, validation, error mapping,
-//! caching, ETags) is unit-testable without binding a port; the server
-//! in [`crate::server`] is a thin pump around it.
+//! [`Service::handle_into`] maps one parsed [`Request`] to a sequence of
+//! [`ResponsePart`]s pushed into a [`ResponseSink`], and writes one
+//! structured log line. Most endpoints emit a single
+//! [`ResponsePart::Full`]; a machine-scale `/v1/batch` streams a chunked
+//! body as shard results complete. Keeping the core free of sockets
+//! means the whole endpoint surface (routing, validation, error mapping,
+//! caching, ETags, streaming decisions) is unit-testable without binding
+//! a port; the transports in [`crate::server`] and [`crate::reactor`]
+//! are pumps around it.
 //!
 //! ## Statelessness and determinism
 //!
@@ -13,8 +17,11 @@
 //! deterministic, and the JSON/trace renderings iterate `BTreeMap`s —
 //! so concurrent identical requests produce byte-identical bodies,
 //! strong input-derived ETags are valid, and the response cache can
-//! never serve a stale or divergent body. Host wall-clock appears only
-//! in the request log, never in a body.
+//! never serve a stale or divergent body. A streamed `/v1/batch` body is
+//! byte-identical (after de-chunking) to the materialized rendering by
+//! construction — both are assembled from [`crate::json::batch_prelude`]
+//! \+ [`crate::json::batch_entry_json`] + [`crate::json::BATCH_EPILOGUE`].
+//! Host wall-clock appears only in the request log, never in a body.
 
 use crate::cache::{CachedResponse, ResponseCache};
 use crate::config::ServeConfig;
@@ -25,7 +32,7 @@ use calciom::{
     ConfigError, Error, NullObserver, PolicySpec, Scenario, Session, SimEvent, SimObserver,
     TimelineAggregator, Trace, TraceRecorder,
 };
-use iobench::{run_scenarios_sharded, BaselineCache};
+use iobench::{run_scenarios_sharded, run_scenarios_sharded_streamed, BaselineCache};
 use simcore::time::SimTime;
 use std::time::Instant;
 
@@ -45,6 +52,91 @@ const ROUTES: &[(&str, &str)] = &[
     ("POST", "/v1/timeline"),
     ("POST", "/v1/batch"),
 ];
+
+/// One piece of a response on its way to the wire.
+///
+/// The service emits either a single [`ResponsePart::Full`], or a
+/// streamed sequence `StreamHead (StreamChunk)* (StreamEnd |
+/// StreamAbort)`. Transports own the framing: `Full` is written with
+/// `Content-Length`, a stream with `Transfer-Encoding: chunked`
+/// ([`Response::serialize_chunked_head`] /
+/// [`crate::http::chunk_frame`] / [`crate::http::CHUNK_END`]).
+#[derive(Debug)]
+pub enum ResponsePart {
+    /// A complete response; exactly one exchange.
+    Full(Response),
+    /// Status + headers of a streamed response. Its `body` is empty;
+    /// chunks follow.
+    StreamHead(Response),
+    /// One span of streamed body bytes (unframed — the transport applies
+    /// the chunked coding).
+    StreamChunk(Vec<u8>),
+    /// The stream completed; the transport writes the terminal chunk.
+    StreamEnd,
+    /// The stream failed after the head was sent. The carried response
+    /// is the error that *would* have been sent (for logs and
+    /// materializing sinks); a wire transport can only truncate — close
+    /// without the terminal chunk so the client detects the short body.
+    StreamAbort(Response),
+}
+
+/// Where [`Service::handle_into`] pushes response parts. Implemented by
+/// the transports (socket writers, the reactor's completion queue) and
+/// by [`CollectSink`] for tests and the materialized [`Service::handle`].
+pub trait ResponseSink {
+    /// Receives the next part, in order.
+    fn part(&mut self, part: ResponsePart);
+}
+
+/// A [`ResponseSink`] that reassembles whatever was emitted into one
+/// materialized [`Response`] — the bridge from the streaming interface
+/// back to "one request, one `Response`".
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    full: Option<Response>,
+    head: Option<Response>,
+    chunks: Vec<u8>,
+    aborted: Option<Response>,
+}
+
+impl CollectSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The materialized response: the `Full` part if one was emitted, a
+    /// completed stream reassembled under its head, or the abort error.
+    pub fn into_response(self) -> Response {
+        if let Some(error) = self.aborted {
+            return error;
+        }
+        if let Some(full) = self.full {
+            return full;
+        }
+        match self.head {
+            Some(mut head) => {
+                head.body = self.chunks;
+                head
+            }
+            // The service always emits at least one part; an empty sink
+            // means the caller never ran it.
+            None => Response::with_body(500, JSON, json::error_json("empty", "no response parts")),
+        }
+    }
+}
+
+impl ResponseSink for CollectSink {
+    fn part(&mut self, part: ResponsePart) {
+        match part {
+            ResponsePart::Full(r) => self.full = Some(r),
+            ResponsePart::StreamHead(h) => self.head = Some(h),
+            ResponsePart::StreamChunk(c) => self.chunks.extend_from_slice(&c),
+            ResponsePart::StreamEnd => {}
+            ResponsePart::StreamAbort(e) => self.aborted = Some(e),
+        }
+    }
+}
 
 /// Counts events while forwarding them, so the request log's `events=`
 /// column works for any observer.
@@ -70,7 +162,15 @@ impl<O: SimObserver> SimObserver for Counting<O> {
     }
 }
 
-/// One dispatched request: the response plus what the log line needs.
+/// What the log line needs from one dispatched request.
+struct LogMeta {
+    status: u16,
+    events: u64,
+    shards: Option<usize>,
+    cache: Option<CacheOutcome>,
+}
+
+/// One materialized dispatch: the response plus its log metadata.
 struct Handled {
     response: Response,
     events: u64,
@@ -86,6 +186,18 @@ impl Handled {
             shards: None,
             cache: None,
         }
+    }
+
+    /// Pushes the response into `sink` and returns the log metadata.
+    fn emit(self, sink: &mut dyn ResponseSink) -> LogMeta {
+        let meta = LogMeta {
+            status: self.response.status,
+            events: self.events,
+            shards: self.shards,
+            cache: self.cache,
+        };
+        sink.part(ResponsePart::Full(self.response));
+        meta
     }
 }
 
@@ -114,28 +226,146 @@ impl Service {
         &self.cache
     }
 
-    /// Handles one parsed request and logs it.
+    /// Handles one parsed request, materialized: streamed parts are
+    /// reassembled into a single [`Response`]. Logs with no connection
+    /// id — the unit-test and direct-call entry point.
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_ctx(None, request)
+    }
+
+    /// [`Service::handle`] with the transport's connection id for the
+    /// request log.
+    pub fn handle_ctx(&self, conn: Option<u64>, request: &Request) -> Response {
+        let mut sink = CollectSink::new();
+        self.handle_into(conn, request, &mut sink);
+        sink.into_response()
+    }
+
+    /// Handles one parsed request, pushing response parts into `sink`
+    /// as they become available, and logs it. This is the transports'
+    /// entry point — a `/v1/batch` past the streaming threshold emits
+    /// chunks while later shards are still simulating.
+    pub fn handle_into(&self, conn: Option<u64>, request: &Request, sink: &mut dyn ResponseSink) {
         let started = Instant::now();
-        let handled = self.dispatch(request);
+        let meta = self.dispatch_into(request, sink);
         self.log.record(&RequestRecord {
+            conn,
             method: request.method.clone(),
             path: request.path.clone(),
             scenario_hash: (!request.body.is_empty()).then(|| json::fnv64(&request.body)),
-            shards: handled.shards,
-            status: handled.response.status,
-            events: handled.events,
+            shards: meta.shards,
+            status: meta.status,
+            events: meta.events,
             wall: started.elapsed(),
-            cache: handled.cache,
+            cache: meta.cache,
         });
-        handled.response
+    }
+
+    /// Serves the request inline **iff** it needs no simulation: trivial
+    /// GETs, routing errors, request-shape errors, `If-None-Match`
+    /// revalidations, and response-cache hits. Returns `false` without
+    /// touching `sink` when real work is required.
+    ///
+    /// This is the epoll reactor's fast path: a pipelined burst of
+    /// cache hits is answered on the reactor thread itself — read once,
+    /// serve all, write once — instead of paying a worker-pool
+    /// round-trip (two thread hand-offs) per request. Everything served
+    /// here is logged exactly as [`Service::handle_into`] would.
+    pub fn handle_fast(
+        &self,
+        conn: Option<u64>,
+        request: &Request,
+        sink: &mut dyn ResponseSink,
+    ) -> bool {
+        let started = Instant::now();
+        let Some(handled) = self.dispatch_fast(request) else {
+            return false;
+        };
+        let meta = handled.emit(sink);
+        self.log.record(&RequestRecord {
+            conn,
+            method: request.method.clone(),
+            path: request.path.clone(),
+            scenario_hash: (!request.body.is_empty()).then(|| json::fnv64(&request.body)),
+            shards: meta.shards,
+            status: meta.status,
+            events: meta.events,
+            wall: started.elapsed(),
+            cache: meta.cache,
+        });
+        true
+    }
+
+    /// The dispatch half of [`Service::handle_fast`]. A sustained
+    /// stream of identical requests is answered from a raw-bytes memo
+    /// with no parsing at all; the first repeat of a cached scenario
+    /// pays one parse + canonical-key hash to *install* that memo; and
+    /// on a cache miss the parse is simply redone by the worker — the
+    /// miss is about to simulate for milliseconds anyway.
+    fn dispatch_fast(&self, request: &Request) -> Option<Handled> {
+        match (request.method.as_str(), request.path.as_str()) {
+            // Cheap to *compute*, not just to look up.
+            ("GET", "/healthz") | ("GET", "/v1/policies") => Some(self.dispatch(request)),
+            ("POST", "/v1/run") | ("POST", "/v1/trace") | ("POST", "/v1/timeline") => {
+                // Level 1: the raw request bytes. The service is a pure
+                // function of the request, so identical bytes must get
+                // the identical response — lookup is one string compare,
+                // no scenario parse. (Revalidations need the ETag
+                // protocol; route them through the canonical path.)
+                let raw = request
+                    .header("if-none-match")
+                    .is_none()
+                    .then(|| raw_memo_key(request));
+                if let Some(key) = &raw {
+                    if let Some(hit) = self.cache.get(key) {
+                        return Some(hit_handled(hit, None));
+                    }
+                }
+                // Level 2: parse and consult the canonical cache, which
+                // absorbs formatting variants of the same scenario.
+                let scenario = match self.scenario_from(request) {
+                    Ok(s) => s,
+                    // A malformed request is answered inline: rejecting
+                    // it never needs a simulation worker.
+                    Err(response) => return Some(Handled::plain(response)),
+                };
+                let key = cache_key(&request.path, &scenario, None);
+                let tag = json::etag(&key);
+                if request.header("if-none-match") == Some(tag.as_str()) {
+                    return Some(Handled {
+                        response: Response {
+                            status: 304,
+                            headers: vec![("etag".to_string(), tag)],
+                            body: Vec::new(),
+                        },
+                        events: 0,
+                        shards: None,
+                        cache: None,
+                    });
+                }
+                let hit = self.cache.get(&key)?;
+                if let Some(raw) = raw {
+                    // Memoize under the raw bytes: the next identical
+                    // request skips the parse entirely.
+                    self.cache.insert(&raw, hit.clone());
+                }
+                Some(hit_handled(hit, None))
+            }
+            // Batches can shard/stream: always worker territory.
+            ("POST", "/v1/batch") => None,
+            // 404/405 are static routing answers.
+            _ => Some(self.dispatch(request)),
+        }
     }
 
     /// Builds and logs the response for a request that could not even be
-    /// parsed off the wire (the server calls this on [`crate::http::HttpError`]).
-    pub fn handle_unparsable(&self, status: u16, message: &str) -> Response {
+    /// parsed off the wire (the transports call this on
+    /// [`crate::http::HttpError`]). Such a response always closes the
+    /// connection — the byte stream can no longer be framed.
+    pub fn handle_unparsable(&self, conn: Option<u64>, status: u16, message: &str) -> Response {
         let response = Response::with_body(status, JSON, json::error_json("http", message));
         self.log.record(&RequestRecord {
+            conn,
             method: "-".to_string(),
             path: "-".to_string(),
             scenario_hash: None,
@@ -146,6 +376,13 @@ impl Service {
             cache: None,
         });
         response
+    }
+
+    fn dispatch_into(&self, request: &Request, sink: &mut dyn ResponseSink) -> LogMeta {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/v1/batch") => self.batch_into(request, sink),
+            _ => self.dispatch(request).emit(sink),
+        }
     }
 
     fn dispatch(&self, request: &Request) -> Handled {
@@ -159,7 +396,18 @@ impl Service {
             ("POST", "/v1/run") => self.run(request),
             ("POST", "/v1/trace") => self.trace(request),
             ("POST", "/v1/timeline") => self.timeline(request),
-            ("POST", "/v1/batch") => self.batch(request),
+            ("POST", "/v1/batch") => {
+                // Reached only via the materializing path (handle());
+                // dispatch_into routes sockets through batch_into.
+                let mut sink = CollectSink::new();
+                let meta = self.batch_into(request, &mut sink);
+                Handled {
+                    response: sink.into_response(),
+                    events: meta.events,
+                    shards: meta.shards,
+                    cache: meta.cache,
+                }
+            }
             (_, path) => {
                 let allowed: Vec<&str> = ROUTES
                     .iter()
@@ -262,33 +510,37 @@ impl Service {
     }
 
     /// `POST /v1/batch`: several concatenated scenario documents fanned
-    /// out over [`run_scenarios_sharded`].
-    fn batch(&self, request: &Request) -> Handled {
+    /// out over the sharded backend. Past the streaming threshold (or
+    /// with `?stream=1`) the body goes out chunked, one entry per
+    /// scenario **as shard results complete**, in request order.
+    fn batch_into(&self, request: &Request, sink: &mut dyn ResponseSink) -> LogMeta {
         let shards = match self.shard_count(request) {
             Ok(n) => n,
-            Err(response) => return Handled::plain(response),
+            Err(response) => return Handled::plain(response).emit(sink),
+        };
+        let emit_err = |response: Response, sink: &mut dyn ResponseSink| {
+            Handled {
+                response,
+                events: 0,
+                shards: Some(shards),
+                cache: None,
+            }
+            .emit(sink)
         };
         let body = match body_text(request) {
             Ok(t) => t,
-            Err(response) => return Handled::plain(response),
+            Err(response) => return emit_err(response, sink),
         };
         let mut scenarios = Vec::new();
         for text in split_scenarios(body) {
             match self.prepare(text, request) {
                 Ok(s) => scenarios.push(s),
-                Err(response) => {
-                    return Handled {
-                        response,
-                        events: 0,
-                        shards: Some(shards),
-                        cache: None,
-                    }
-                }
+                Err(response) => return emit_err(response, sink),
             }
         }
         if scenarios.is_empty() {
-            return Handled {
-                response: Response::with_body(
+            return emit_err(
+                Response::with_body(
                     400,
                     JSON,
                     json::error_json(
@@ -296,22 +548,164 @@ impl Service {
                         &format!("batch body contains no {SCENARIO_HEADER:?} document"),
                     ),
                 ),
-                events: 0,
-                shards: Some(shards),
-                cache: None,
-            };
+                sink,
+            );
         }
+        let stream = match self.stream_requested(request, &scenarios) {
+            Ok(stream) => stream,
+            Err(response) => return emit_err(response, sink),
+        };
+
         let mut key = format!("/v1/batch shards={shards}\n");
         for scenario in &scenarios {
             key.push_str(&scenario.to_text());
         }
-        self.serve_cached(request, key, Some(shards), || {
-            let runs = run_scenarios_sharded(&scenarios, shards, BaselineCache::global())
-                .map_err(|e| error_response(&e))?;
-            // `run_scenarios_sharded` executes unobserved, so no event
-            // count is available for the log (recorded as 0).
-            Ok((json::batch_json(shards, &runs).into_bytes(), JSON, 0))
-        })
+
+        if !stream {
+            return self
+                .serve_cached(request, key, Some(shards), || {
+                    let runs = run_scenarios_sharded(&scenarios, shards, BaselineCache::global())
+                        .map_err(|e| error_response(&e))?;
+                    // The sharded runner executes unobserved, so no event
+                    // count is available for the log (recorded as 0).
+                    Ok((json::batch_json(shards, &runs).into_bytes(), JSON, 0))
+                })
+                .emit(sink);
+        }
+
+        // Streaming path. ETag revalidation and cache hits still
+        // short-circuit to a materialized response — only a cache miss
+        // actually streams.
+        let tag = json::etag(&key);
+        if request.header("if-none-match") == Some(tag.as_str()) {
+            let meta = LogMeta {
+                status: 304,
+                events: 0,
+                shards: Some(shards),
+                cache: None,
+            };
+            sink.part(ResponsePart::Full(Response {
+                status: 304,
+                headers: vec![("etag".to_string(), tag)],
+                body: Vec::new(),
+            }));
+            return meta;
+        }
+        if let Some(hit) = self.cache.get(&key) {
+            let meta = LogMeta {
+                status: 200,
+                events: hit.events,
+                shards: Some(shards),
+                cache: Some(CacheOutcome::Hit),
+            };
+            sink.part(ResponsePart::Full(
+                Response::with_body(200, hit.content_type, hit.body)
+                    .header("etag", &hit.etag)
+                    .header("x-cache", CacheOutcome::Hit.label()),
+            ));
+            return meta;
+        }
+
+        // The head goes out lazily, on the first shard result: a
+        // configuration error raised while *building* the sessions must
+        // still produce a proper 4xx/5xx status line, which is only
+        // possible while nothing has been sent.
+        let mut started = false;
+        let mut first = true;
+        let mut accumulated: Vec<u8> = Vec::new();
+        let result =
+            run_scenarios_sharded_streamed(&scenarios, shards, BaselineCache::global(), |run| {
+                if !started {
+                    started = true;
+                    sink.part(ResponsePart::StreamHead(
+                        Response::with_body(200, JSON, Vec::new())
+                            .header("etag", &tag)
+                            .header("x-cache", CacheOutcome::Miss.label()),
+                    ));
+                    let prelude = json::batch_prelude(shards, scenarios.len());
+                    accumulated.extend_from_slice(prelude.as_bytes());
+                    sink.part(ResponsePart::StreamChunk(prelude.into_bytes()));
+                }
+                let mut entry = String::new();
+                if !first {
+                    entry.push(',');
+                }
+                first = false;
+                entry.push_str(&json::batch_entry_json(&run));
+                accumulated.extend_from_slice(entry.as_bytes());
+                sink.part(ResponsePart::StreamChunk(entry.into_bytes()));
+            });
+        match result {
+            Ok(()) => {
+                accumulated.extend_from_slice(json::BATCH_EPILOGUE.as_bytes());
+                sink.part(ResponsePart::StreamChunk(
+                    json::BATCH_EPILOGUE.as_bytes().to_vec(),
+                ));
+                sink.part(ResponsePart::StreamEnd);
+                self.cache.insert(
+                    &key,
+                    CachedResponse {
+                        body: accumulated,
+                        content_type: JSON,
+                        etag: tag,
+                        events: 0,
+                    },
+                );
+                LogMeta {
+                    status: 200,
+                    events: 0,
+                    shards: Some(shards),
+                    cache: Some(CacheOutcome::Miss),
+                }
+            }
+            Err(e) => {
+                let error = error_response(&e);
+                let status = error.status;
+                if started {
+                    // Head already sent: the wire can only truncate.
+                    sink.part(ResponsePart::StreamAbort(error));
+                } else {
+                    sink.part(ResponsePart::Full(error));
+                }
+                LogMeta {
+                    status,
+                    events: 0,
+                    shards: Some(shards),
+                    cache: None,
+                }
+            }
+        }
+    }
+
+    /// Whether this `/v1/batch` request streams: `?stream=1/0` wins,
+    /// otherwise the batch's total application count against the
+    /// configured threshold (0 disables size-triggered streaming).
+    fn stream_requested(
+        &self,
+        request: &Request,
+        scenarios: &[Scenario],
+    ) -> Result<bool, Response> {
+        match query_param_checked(request, "stream")? {
+            Some(value) => match value.as_str() {
+                "1" | "true" => Ok(true),
+                "0" | "false" => Ok(false),
+                other => Err(Response::with_body(
+                    400,
+                    JSON,
+                    json::error_json(
+                        "bad-request",
+                        &format!("stream must be 0 or 1, got {other:?}"),
+                    ),
+                )),
+            },
+            None => {
+                if self.config.stream_apps == 0 {
+                    return Ok(false);
+                }
+                let total_apps: usize = scenarios.iter().map(|s| s.apps.len()).sum();
+                Ok(total_apps >= self.config.stream_apps)
+            }
+        }
     }
 
     /// The ETag/If-None-Match/response-cache wrapper every cacheable
@@ -325,29 +719,8 @@ impl Service {
         compute: impl FnOnce() -> Result<(Vec<u8>, &'static str, u64), Response>,
     ) -> Handled {
         let tag = json::etag(&key);
-        // The ETag is derived from the request's canonical inputs, so a
-        // match short-circuits before any simulation work.
-        if request.header("if-none-match") == Some(tag.as_str()) {
-            return Handled {
-                response: Response {
-                    status: 304,
-                    headers: vec![("etag".to_string(), tag)],
-                    body: Vec::new(),
-                },
-                events: 0,
-                shards,
-                cache: None,
-            };
-        }
-        if let Some(hit) = self.cache.get(&key) {
-            return Handled {
-                response: Response::with_body(200, hit.content_type, hit.body)
-                    .header("etag", &hit.etag)
-                    .header("x-cache", CacheOutcome::Hit.label()),
-                events: hit.events,
-                shards,
-                cache: Some(CacheOutcome::Hit),
-            };
+        if let Some(handled) = self.revalidate_or_hit(request, &key, &tag, shards) {
+            return handled;
         }
         match compute() {
             Ok((body, content_type, events)) => {
@@ -376,6 +749,41 @@ impl Service {
                 cache: None,
             },
         }
+    }
+
+    /// The no-simulation half of [`Service::serve_cached`]: a matching
+    /// `If-None-Match` becomes a `304`, a response-cache hit is served
+    /// as-is, and anything else is `None` — the caller must compute.
+    fn revalidate_or_hit(
+        &self,
+        request: &Request,
+        key: &str,
+        tag: &str,
+        shards: Option<usize>,
+    ) -> Option<Handled> {
+        // The ETag is derived from the request's canonical inputs, so a
+        // match short-circuits before any simulation work.
+        if request.header("if-none-match") == Some(tag) {
+            return Some(Handled {
+                response: Response {
+                    status: 304,
+                    headers: vec![("etag".to_string(), tag.to_string())],
+                    body: Vec::new(),
+                },
+                events: 0,
+                shards,
+                cache: None,
+            });
+        }
+        let hit = self.cache.get(key)?;
+        Some(Handled {
+            response: Response::with_body(200, hit.content_type, hit.body)
+                .header("etag", &hit.etag)
+                .header("x-cache", CacheOutcome::Hit.label()),
+            events: hit.events,
+            shards,
+            cache: Some(CacheOutcome::Hit),
+        })
     }
 
     /// Parses the single-scenario body of `/v1/run`-shaped endpoints.
@@ -437,6 +845,41 @@ impl Service {
 /// The canonical cache/ETag key: endpoint + policy label + the
 /// scenario's canonical text (the `BaselineCache` key discipline —
 /// `from_text ∘ to_text` has already normalized the request body).
+/// The level-1 memo key for [`Service::handle_fast`]: the raw request
+/// bytes, verbatim (method, target, body). Distinct formatting of the
+/// same scenario gets distinct entries here — the canonical cache
+/// underneath deduplicates the *computation*; this layer only skips the
+/// parse for exact repeats. The `"raw "` prefix keeps it disjoint from
+/// canonical keys, which start with the endpoint path.
+fn raw_memo_key(request: &Request) -> String {
+    let mut key = String::with_capacity(
+        request.method.len() + request.path.len() + request.query.len() + request.body.len() + 8,
+    );
+    key.push_str("raw ");
+    key.push_str(&request.method);
+    key.push(' ');
+    key.push_str(&request.path);
+    key.push('?');
+    key.push_str(&request.query);
+    key.push(' ');
+    key.push_str(&String::from_utf8_lossy(&request.body));
+    key
+}
+
+/// A cache hit as [`Handled`] — the exact response shape
+/// [`Service::serve_cached`] produces for hits, so every cache level is
+/// byte-identical on the wire.
+fn hit_handled(hit: CachedResponse, shards: Option<usize>) -> Handled {
+    Handled {
+        response: Response::with_body(200, hit.content_type, hit.body)
+            .header("etag", &hit.etag)
+            .header("x-cache", CacheOutcome::Hit.label()),
+        events: hit.events,
+        shards,
+        cache: Some(CacheOutcome::Hit),
+    }
+}
+
 fn cache_key(endpoint: &str, scenario: &Scenario, shards: Option<usize>) -> String {
     let mut key = format!("{endpoint} policy={}\n", scenario.policy_label());
     if let Some(shards) = shards {
@@ -719,6 +1162,74 @@ mod tests {
     }
 
     #[test]
+    fn streamed_batch_parts_reassemble_to_the_materialized_body() {
+        let svc = service();
+        let body = format!("{}{}", scenario_text(), scenario_text());
+        let materialized = svc.handle(&post("/v1/batch", "shards=2&stream=0", body.clone()));
+        assert_eq!(materialized.status, 200);
+
+        // Fresh service so the cache is cold — a hit would short-circuit
+        // to a Full part instead of streaming.
+        let svc = service();
+        let mut sink = CollectSink::new();
+        svc.handle_into(
+            None,
+            &post("/v1/batch", "shards=2&stream=1", body),
+            &mut sink,
+        );
+        assert!(sink.full.is_none(), "a cold streamed batch must stream");
+        let head = sink.head.as_ref().expect("stream head was emitted");
+        assert_eq!(head.status, 200);
+        assert!(head
+            .headers
+            .iter()
+            .any(|(n, v)| n == "x-cache" && v == "miss"));
+        let streamed = sink.into_response();
+        assert_eq!(
+            streamed.body, materialized.body,
+            "de-chunked stream must be byte-identical to the materialized body"
+        );
+    }
+
+    #[test]
+    fn streamed_batch_is_cached_for_later_hits() {
+        let svc = service();
+        let body = format!("{}{}", scenario_text(), scenario_text());
+        let first = svc.handle(&post("/v1/batch", "shards=2&stream=1", body.clone()));
+        assert_eq!(first.status, 200);
+        let second = svc.handle(&post("/v1/batch", "shards=2&stream=1", body));
+        assert_eq!(second.body, first.body);
+        assert!(second
+            .headers
+            .iter()
+            .any(|(n, v)| n == "x-cache" && v == "hit"));
+    }
+
+    #[test]
+    fn bad_stream_flag_is_a_400() {
+        let svc = service();
+        let response = svc.handle(&post("/v1/batch", "stream=maybe", scenario_text()));
+        assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn stream_threshold_triggers_on_total_apps() {
+        let config = ServeConfig {
+            stream_apps: 3,
+            ..ServeConfig::default()
+        };
+        let svc = Service::new(config, Box::new(BufferLog::new()));
+        // Two documents × two apps = 4 ≥ 3: streams without ?stream=1.
+        let body = format!("{}{}", scenario_text(), scenario_text());
+        let mut sink = CollectSink::new();
+        svc.handle_into(None, &post("/v1/batch", "shards=2", body), &mut sink);
+        assert!(
+            sink.head.is_some(),
+            "past the app threshold the batch must stream"
+        );
+    }
+
+    #[test]
     fn split_scenarios_finds_document_boundaries() {
         let one = format!("{SCENARIO_HEADER}\na = 1\n");
         let two = format!("{one}{SCENARIO_HEADER}\nb = 2\n");
@@ -748,7 +1259,7 @@ mod tests {
             }
         }
         let svc = Service::new(ServeConfig::default(), Box::new(Fwd(log.clone())));
-        svc.handle(&post("/v1/run", "", scenario_text()));
+        svc.handle_ctx(Some(3), &post("/v1/run", "", scenario_text()));
         let records = log.records();
         assert_eq!(records.len(), 1);
         let line = records[0].line();
@@ -756,7 +1267,9 @@ mod tests {
             line.starts_with("method=POST path=/v1/run scenario="),
             "{line}"
         );
+        assert!(line.ends_with("cache=miss conn=3"), "{line}");
         assert!(records[0].events > 0, "run streams simulation events");
         assert_eq!(records[0].cache, Some(CacheOutcome::Miss));
+        assert_eq!(records[0].conn, Some(3));
     }
 }

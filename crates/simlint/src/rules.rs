@@ -123,7 +123,9 @@ impl ScopeConfig {
                 ),
                 (
                     "serve".to_string(),
-                    "HTTP service: request-log latency and socket timeouts are host time"
+                    "HTTP service: request-log latency, socket timeouts, and the \
+                     reactor/connection idle, slow-loris, and shutdown deadlines \
+                     are host time"
                         .to_string(),
                 ),
             ],
