@@ -1,0 +1,11 @@
+//! Runs the flat-vs-hierarchical arbitration cost study (M-machine
+//! cluster mixes over one shared PFS) through the experiment registry.
+//! Pass `--quick` for the reduced CI sweep (M ≤ 4, exact medium); the
+//! full run compares the topologies at M ∈ {2, 8, 32} — 10 240
+//! applications at M = 32 — on the virtual-time medium.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    calciom_bench::cli::figure_main("fig15_cluster")
+}

@@ -13,11 +13,13 @@
 //!   decoded copy then also replays to the same report), and print a
 //!   `codec round-trip OK` line per trace;
 //! * `--timeline` — print the derived Gantt/bandwidth timeline of each
-//!   key session.
+//!   key session;
+//! * `--medium <label>` — run mix-based sweeps on the named
+//!   bandwidth-sharing medium (`max-min` or `fair-fast`).
 
 use crate::experiment::RunOptions;
 use crate::Registry;
-use calciom::Trace;
+use calciom::{SharingModel, Trace};
 use std::fmt;
 use std::process::ExitCode;
 
@@ -28,6 +30,10 @@ pub enum FlagError {
     UnknownFlag(String),
     /// `--policy` at the end of the stream, or followed by another flag.
     MissingPolicySpec,
+    /// `--medium` at the end of the stream, or followed by another flag.
+    MissingMediumLabel,
+    /// `--medium` with a label no sharing medium carries.
+    UnknownMedium(String),
 }
 
 impl fmt::Display for FlagError {
@@ -35,10 +41,23 @@ impl fmt::Display for FlagError {
         match self {
             FlagError::UnknownFlag(flag) => write!(
                 f,
-                "bad flag '{flag}' (expected --quick, --trace, --timeline, --policy <spec>)"
+                "bad flag '{flag}' (expected --quick, --trace, --timeline, \
+                 --policy <spec>, --medium <label>)"
             ),
             FlagError::MissingPolicySpec => {
                 write!(f, "--policy needs a <spec> argument, e.g. --policy rr(3s)")
+            }
+            FlagError::MissingMediumLabel => {
+                write!(
+                    f,
+                    "--medium needs a <label> argument, e.g. --medium fair-fast"
+                )
+            }
+            FlagError::UnknownMedium(label) => {
+                write!(
+                    f,
+                    "unknown medium '{label}' (expected max-min or fair-fast)"
+                )
             }
         }
     }
@@ -96,6 +115,13 @@ pub fn parse_args(
             "--policy" => match args.next() {
                 Some(spec) if !spec.starts_with("--") => opts.policies.push(spec),
                 _ => return Err(FlagError::MissingPolicySpec),
+            },
+            "--medium" => match args.next() {
+                Some(label) if !label.starts_with("--") => match SharingModel::from_label(&label) {
+                    Some(medium) => opts.medium = Some(medium),
+                    None => return Err(FlagError::UnknownMedium(label)),
+                },
+                _ => return Err(FlagError::MissingMediumLabel),
             },
             other if other.starts_with("--") => {
                 return Err(FlagError::UnknownFlag(other.to_string()))
@@ -174,7 +200,9 @@ fn verify_trace(name: &str, label: &str, trace: &Trace) -> bool {
 /// * `--quick` / `--trace` / `--timeline` (combinable with the above) —
 ///   reduced sweeps / recorded+verified traces / printed timelines;
 /// * `--policy <spec>` (repeatable) — restrict policy-comparison
-///   experiments to the named arbitration policies.
+///   experiments to the named arbitration policies;
+/// * `--medium <label>` — run mix-based sweeps on the named
+///   bandwidth-sharing medium.
 pub fn all_figures_main() -> ExitCode {
     let (opts, tokens) = match parse_args(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
@@ -265,6 +293,40 @@ mod tests {
             parse(&["--policy", "--quick"]),
             Err(FlagError::MissingPolicySpec)
         );
+    }
+
+    #[test]
+    fn medium_flag_parses_and_validates_its_label() {
+        let parse = |args: &[&str]| parse_options(args.iter().map(|a| a.to_string()));
+        let opts = parse(&["fig14_policies", "--medium", "fair-fast", "--quick"]).unwrap();
+        assert_eq!(opts.medium, Some(SharingModel::FairFast));
+        assert_eq!(
+            parse(&["--medium", "max-min"]).unwrap().medium,
+            Some(SharingModel::MaxMin)
+        );
+        assert_eq!(parse(&[]).unwrap().medium, None);
+        // A typoed label fails loudly, as does a missing one.
+        assert_eq!(
+            parse(&["--medium", "warp"]),
+            Err(FlagError::UnknownMedium("warp".to_string()))
+        );
+        assert_eq!(parse(&["--medium"]), Err(FlagError::MissingMediumLabel));
+        assert_eq!(
+            parse(&["--medium", "--quick"]),
+            Err(FlagError::MissingMediumLabel)
+        );
+    }
+
+    #[test]
+    fn run_named_honours_the_medium_override() {
+        // fig14 restricted to one policy on the fair-fast medium runs
+        // through the same CLI path the CI smoke uses.
+        let registry = Registry::standard();
+        let opts = RunOptions::new(true)
+            .with_policy("fcfs")
+            .with_medium(SharingModel::FairFast);
+        let code = run_named(&registry, &["fig14_policies"], &opts);
+        assert_eq!(code, ExitCode::SUCCESS);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::figures;
 use crate::figures::FigureOutput;
-use calciom::{Error, PolicySpec, Timeline, Trace};
+use calciom::{Error, PolicySpec, SharingModel, Timeline, Trace};
 
 /// How an experiment should be run, and which observability artifacts it
 /// should attach to its output.
@@ -28,6 +28,11 @@ pub struct RunOptions {
     /// that compare policies (e.g. `fig14_policies`) restrict their sweep
     /// to these when given.
     pub policies: Vec<String>,
+    /// Bandwidth-sharing medium override (`--medium <label>` on the
+    /// CLI, e.g. `--medium fair-fast`). `None` means "the experiment's
+    /// own default"; experiments over generated mixes (e.g.
+    /// `fig14_policies`) run their sweep on the named medium when given.
+    pub medium: Option<SharingModel>,
 }
 
 impl RunOptions {
@@ -54,6 +59,12 @@ impl RunOptions {
     /// Adds a policy spec text (the CLI's `--policy` flag).
     pub fn with_policy(mut self, spec: impl Into<String>) -> Self {
         self.policies.push(spec.into());
+        self
+    }
+
+    /// Selects a bandwidth-sharing medium (the CLI's `--medium` flag).
+    pub fn with_medium(mut self, medium: SharingModel) -> Self {
+        self.medium = Some(medium);
         self
     }
 
@@ -148,6 +159,7 @@ impl Registry {
         registry.register(Box::new(figures::fig12::Fig12));
         registry.register(Box::new(figures::fig13::Fig13));
         registry.register(Box::new(figures::fig14::Fig14));
+        registry.register(Box::new(figures::fig15::Fig15));
         registry.register(Box::new(figures::ablation::AblationGamma));
         registry.register(Box::new(figures::ablation::AblationSharePolicy));
         registry.register(Box::new(figures::ablation::AblationOverhead));
@@ -211,7 +223,7 @@ mod tests {
     #[test]
     fn standard_registry_has_every_figure_and_ablation() {
         let registry = Registry::standard();
-        assert_eq!(registry.len(), 18);
+        assert_eq!(registry.len(), 19);
         assert!(!registry.is_empty());
         for name in [
             "fig01_workload",
@@ -229,6 +241,7 @@ mod tests {
             "fig12_delay",
             "fig13_scale",
             "fig14_policies",
+            "fig15_cluster",
             "ablation_gamma",
             "ablation_share_policy",
             "ablation_coordination_overhead",

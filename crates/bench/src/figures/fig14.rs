@@ -20,10 +20,13 @@
 //!
 //! `--policy <spec>` (repeatable) restricts the comparison to the named
 //! policies — any spec the registry can parse, e.g. `--policy rr(3s)`.
+//! `--medium fair-fast` plays the tournament on the `O(log n)`
+//! virtual-time medium instead of the exact max-min solver — the
+//! configuration for machine-scale sweeps.
 
 use super::FigureOutput;
 use crate::experiment::{Experiment, ExperimentOutput, RunOptions};
-use calciom::{EfficiencyMetric, Error, PolicySpec};
+use calciom::{EfficiencyMetric, Error, PolicySpec, SharingModel};
 use iobench::{run_scenarios_sharded, BaselineCache, FigureData, Series};
 use workloads::MachineMix;
 
@@ -40,7 +43,7 @@ impl Experiment for Fig14 {
     }
 
     fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
-        run_specs(quick, &policy_specs())
+        run_specs(quick, &policy_specs(), SharingModel::default())
     }
 
     fn run_with(&self, opts: &RunOptions) -> Result<ExperimentOutput, Error> {
@@ -50,7 +53,9 @@ impl Experiment for Fig14 {
             opts.parsed_policies()?
         };
         Ok(ExperimentOutput::figure_only(run_specs(
-            opts.quick, &specs,
+            opts.quick,
+            &specs,
+            opts.medium.unwrap_or_default(),
         )?))
     }
 }
@@ -78,8 +83,13 @@ pub fn mix(n: usize) -> MachineMix {
     super::fig13::mix(n)
 }
 
-/// Runs the comparison over an explicit policy list.
-pub fn run_specs(quick: bool, specs: &[PolicySpec]) -> Result<FigureOutput, Error> {
+/// Runs the comparison over an explicit policy list on the given
+/// bandwidth-sharing medium.
+pub fn run_specs(
+    quick: bool,
+    specs: &[PolicySpec],
+    medium: SharingModel,
+) -> Result<FigureOutput, Error> {
     let ns: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256] };
 
     let mut eff = FigureData::new(
@@ -104,7 +114,7 @@ pub fn run_specs(quick: bool, specs: &[PolicySpec]) -> Result<FigureOutput, Erro
 
     let cache = BaselineCache::global();
     for &n in ns {
-        let mix = mix(n);
+        let mix = MachineMix { medium, ..mix(n) };
         let scenarios: Vec<_> = specs
             .iter()
             .map(|spec| mix.scenario_with_policy(spec.clone()))
@@ -205,7 +215,7 @@ mod tests {
 
     #[test]
     fn quick_sweep_covers_every_policy_and_n() {
-        let out = run_specs(true, &policy_specs()).unwrap();
+        let out = run_specs(true, &policy_specs(), SharingModel::default()).unwrap();
         assert_eq!(out.figures.len(), 3);
         for fig in &out.figures {
             assert_eq!(fig.x_values(), vec![8.0, 64.0]);
@@ -236,9 +246,30 @@ mod tests {
     #[test]
     fn restricted_policy_lists_run_standalone() {
         let specs = [PolicySpec::new("fcfs"), PolicySpec::with_arg("rr", "3s")];
-        let out = run_specs(true, &specs).unwrap();
+        let out = run_specs(true, &specs, SharingModel::default()).unwrap();
         assert_eq!(out.figures[0].series.len(), 2);
         assert!(out.figures[0].series("rr(3s)").is_some());
+    }
+
+    #[test]
+    fn tournament_runs_on_the_fair_fast_medium() {
+        // The `--medium fair-fast` configuration (the CI smoke): the same
+        // restricted tournament on the virtual-time medium completes with
+        // finite curves, and on the mix's near-equal-share topology lands
+        // near the exact solver's efficiency.
+        let specs = [PolicySpec::new("fcfs")];
+        let exact = run_specs(true, &specs, SharingModel::MaxMin).unwrap();
+        let fast = run_specs(true, &specs, SharingModel::FairFast).unwrap();
+        let eff_at =
+            |out: &FigureOutput, n: f64| out.figures[0].series("fcfs").unwrap().y_at(n).unwrap();
+        for &n in &[8.0, 64.0] {
+            let (a, b) = (eff_at(&exact, n), eff_at(&fast, n));
+            assert!(a.is_finite() && b.is_finite());
+            assert!(
+                (a - b).abs() <= a.abs().max(1.0) * 0.10,
+                "N={n}: fair-fast efficiency {b} far from max-min {a}"
+            );
+        }
     }
 
     /// The full-scale acceptance run: all eight registry policies
@@ -249,7 +280,7 @@ mod tests {
     #[test]
     #[ignore = "full-scale run; exercised by `fig14_policies` without --quick"]
     fn policies_256_complete_for_all_eight() {
-        let out = run_specs(false, &policy_specs()).unwrap();
+        let out = run_specs(false, &policy_specs(), SharingModel::default()).unwrap();
         let eff = &out.figures[0];
         for spec in policy_specs() {
             let label = spec.to_text();

@@ -1,0 +1,304 @@
+//! Figure 15 (extension) — flat vs hierarchical arbitration across
+//! machines.
+//!
+//! The paper coordinates applications within one machine; the
+//! hierarchical arbitration layer (`calciom::cluster`) extends the
+//! mechanism to M machines sharing one center-wide PFS: a leaf arbiter
+//! per machine under a slot-owning root, contended requests escalating
+//! with modeled cross-arbiter latency and aggregated per-machine load.
+//! This experiment quantifies what the tree buys and what it costs. The
+//! same seeded [`ClusterMix`] (M machines × N applications) is played two
+//! ways — *flat* (every application coordinates through one arbiter, the
+//! today's-code baseline) and *hierarchical* (the arbiter tree) — for
+//! M ∈ {2, 8, 32} machines ({2, 4} with `--quick`). Three curves:
+//!
+//! * **mean stretch** — the average per-application interference factor,
+//!   the price of coarser (per-machine) serialization;
+//! * **machine-wide efficiency** — CPU·seconds wasted, baselines served
+//!   by the shared [`BaselineCache`];
+//! * **coordination messages** — flat's total vs the tree's root traffic
+//!   (escalations + grants + slot returns, exactly linear in
+//!   escalations): the scaling argument. Flat fan-in grows with the
+//!   *application* population M × N; the root only ever talks to M
+//!   leaves about aggregated load, so its message count must grow
+//!   strictly slower.
+//!
+//! The full run uses the `O(log n)` virtual-time medium (10 240
+//! applications at M = 32); `--quick` stays on the exact solver.
+
+use super::FigureOutput;
+use crate::experiment::Experiment;
+use calciom::{ClusterStats, EfficiencyMetric, Error, SharingModel, Strategy};
+use iobench::{run_scenarios_sharded, BaselineCache, FigureData, Series, ShardedRun};
+use workloads::{ClusterMix, MachineMix};
+
+/// Registry entry for this experiment.
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn name(&self) -> &'static str {
+        "fig15_cluster"
+    }
+
+    fn description(&self) -> &'static str {
+        "Flat vs hierarchical arbitration: M-machine cluster mixes over a shared PFS (extension)"
+    }
+
+    fn run(&self, quick: bool) -> Result<FigureOutput, Error> {
+        run(quick)
+    }
+}
+
+/// The cluster mix at M machines (only the machine count varies): seeded
+/// like the other machine-scale experiments, one shared-PFS slot, 1 ms
+/// cross-arbiter edges. `--quick` draws 8 applications per machine on the
+/// exact solver; the full run draws 320 per machine (10 240 applications
+/// at M = 32) on the virtual-time medium.
+///
+/// The rotation quantum scales with the machine count (30 s × M): the
+/// cluster's makespan grows with the aggregate offered load (M machines
+/// × fixed per-machine demand), so a *fixed* quantum would make rotation
+/// traffic — `makespan / quantum` round trips — grow with the
+/// application population, exactly the fan-in the tree exists to avoid.
+/// A quantum proportional to M holds each machine's share of the rotation
+/// schedule constant and keeps root traffic governed by the machine
+/// count.
+pub fn mix(machines: usize, quick: bool) -> ClusterMix {
+    ClusterMix {
+        machines,
+        apps_per_machine: if quick { 8 } else { 320 },
+        template: MachineMix {
+            seed: 2014,
+            medium: if quick {
+                SharingModel::MaxMin
+            } else {
+                SharingModel::FairFast
+            },
+            ..MachineMix::default()
+        },
+        slots: 1,
+        latency_secs: 0.001,
+        quantum_secs: 30.0 * machines as f64,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Result<FigureOutput, Error> {
+    let ms: &[usize] = if quick { &[2, 4] } else { &[2, 8, 32] };
+
+    let mut stretch = FigureData::new(
+        "Figure 15a — mean stretch vs M machines",
+        "M (machines)",
+        "mean interference factor",
+    );
+    let mut eff = FigureData::new(
+        "Figure 15b — machine-wide efficiency vs M machines",
+        "M (machines)",
+        "CPU*seconds wasted (millions)",
+    );
+    let mut msgs = FigureData::new(
+        "Figure 15c — coordination messages vs M machines",
+        "M (machines)",
+        "messages (thousands)",
+    );
+    let mut flat_stretch = Series::new("flat");
+    let mut hier_stretch = Series::new("hierarchical");
+    let mut flat_eff = Series::new("flat");
+    let mut hier_eff = Series::new("hierarchical");
+    let mut flat_msgs = Series::new("flat total");
+    let mut hier_msgs = Series::new("hierarchical total");
+    let mut root_msgs = Series::new("hierarchical root");
+
+    let cache = BaselineCache::global();
+    let mut rows: Vec<Row> = Vec::new();
+    for &m in ms {
+        let mix = mix(m, quick);
+        let scenarios = [
+            mix.scenario_flat(Strategy::FcfsSerialize),
+            mix.scenario_hierarchical(Strategy::FcfsSerialize),
+        ];
+        // One shard: the two topologies run back to back, undisturbed.
+        let runs = run_scenarios_sharded(&scenarios, 1, cache)?;
+        let flat = summarize(&runs[0]);
+        let hier = summarize(&runs[1]);
+        let tree = runs[1]
+            .cluster
+            .ok_or(Error::Config(calciom::ConfigError::ClusterUnsupported))?;
+
+        let x = m as f64;
+        flat_stretch.push(x, flat.stretch);
+        hier_stretch.push(x, hier.stretch);
+        flat_eff.push(x, flat.wasted / 1e6);
+        hier_eff.push(x, hier.wasted / 1e6);
+        flat_msgs.push(x, flat.messages as f64 / 1e3);
+        hier_msgs.push(x, tree.total_messages() as f64 / 1e3);
+        root_msgs.push(x, tree.root_messages() as f64 / 1e3);
+        rows.push(Row {
+            machines: m,
+            apps: mix.machines * mix.apps_per_machine,
+            flat,
+            hier,
+            tree,
+        });
+    }
+    stretch.add_series(flat_stretch);
+    stretch.add_series(hier_stretch);
+    eff.add_series(flat_eff);
+    eff.add_series(hier_eff);
+    msgs.add_series(flat_msgs);
+    msgs.add_series(hier_msgs);
+    msgs.add_series(root_msgs);
+
+    let mut out = FigureOutput::new(
+        "Figure 15 — flat vs hierarchical arbitration on M-machine cluster mixes",
+    );
+
+    // Headline: the scaling argument. Flat message traffic grows with the
+    // application population; root traffic only with the machine count.
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        let flat_growth = last.flat.messages as f64 / (first.flat.messages.max(1)) as f64;
+        let root_growth =
+            last.tree.root_messages() as f64 / (first.tree.root_messages().max(1)) as f64;
+        out.notes.push(format!(
+            "message growth M={}..{}: flat x{:.1}, hierarchical root x{:.1} \
+             ({} escalations, {} root grants, {} slot returns at M={})",
+            first.machines,
+            last.machines,
+            flat_growth,
+            root_growth,
+            last.tree.escalations,
+            last.tree.root_grants,
+            last.tree.slot_returns,
+            last.machines
+        ));
+        out.notes.push(format!(
+            "stretch at M={} ({} apps): flat {:.2}, hierarchical {:.2}",
+            last.machines, last.apps, last.flat.stretch, last.hier.stretch
+        ));
+    }
+
+    // Machine-readable trajectory (CI extracts this into
+    // BENCH_cluster.json).
+    let col = |f: &dyn Fn(&Row) -> f64, digits: usize| -> String {
+        rows.iter()
+            .map(|r| format!("{:.*}", digits, f(r)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    out.notes.push(format!(
+        "cluster-json: {{\"m\":[{}],\"apps\":[{}],\
+         \"flat_stretch\":[{}],\"hier_stretch\":[{}],\
+         \"flat_cpu_s_wasted_m\":[{}],\"hier_cpu_s_wasted_m\":[{}],\
+         \"flat_messages\":[{}],\"hier_messages\":[{}],\"root_messages\":[{}],\
+         \"escalations\":[{}]}}",
+        rows.iter()
+            .map(|r| r.machines.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        rows.iter()
+            .map(|r| r.apps.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        col(&|r| r.flat.stretch, 3),
+        col(&|r| r.hier.stretch, 3),
+        col(&|r| r.flat.wasted / 1e6, 3),
+        col(&|r| r.hier.wasted / 1e6, 3),
+        col(&|r| r.flat.messages as f64, 0),
+        col(&|r| r.tree.total_messages() as f64, 0),
+        col(&|r| r.tree.root_messages() as f64, 0),
+        col(&|r| r.tree.escalations as f64, 0),
+    ));
+
+    out.figures.push(stretch);
+    out.figures.push(eff);
+    out.figures.push(msgs);
+    Ok(out)
+}
+
+/// Per-topology summary of one run.
+struct Summary {
+    stretch: f64,
+    wasted: f64,
+    messages: u64,
+}
+
+/// One (M, flat, hierarchical) comparison row.
+struct Row {
+    machines: usize,
+    apps: usize,
+    flat: Summary,
+    hier: Summary,
+    tree: ClusterStats,
+}
+
+fn summarize(run: &ShardedRun) -> Summary {
+    let obs = run.report.observations(&run.alone);
+    let stretch = if obs.is_empty() {
+        1.0
+    } else {
+        obs.iter().map(|o| o.interference_factor()).sum::<f64>() / obs.len() as f64
+    };
+    Summary {
+        stretch,
+        wasted: run
+            .report
+            .metric(EfficiencyMetric::CpuSecondsWasted, &run.alone),
+        messages: run.report.coordination_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_compares_both_topologies() {
+        let out = run(true).unwrap();
+        assert_eq!(out.figures.len(), 3);
+        for fig in &out.figures {
+            assert_eq!(fig.x_values(), vec![2.0, 4.0]);
+            for series in &fig.series {
+                assert_eq!(series.points.len(), 2, "{}", series.label);
+                assert!(series.points.iter().all(|&(_, y)| y.is_finite()));
+            }
+        }
+        let msgs = &out.figures[2];
+        let at = |label: &str, m: f64| msgs.series(label).unwrap().y_at(m).unwrap();
+        // The tree is never free: it carries the leaves' traffic plus the
+        // root's. But the root alone stays far below the flat fan-in.
+        assert!(at("hierarchical root", 4.0) > 0.0);
+        assert!(at("hierarchical root", 4.0) < at("flat total", 4.0));
+        assert!(
+            out.notes.iter().any(|n| n.starts_with("cluster-json: ")),
+            "perf trajectory note missing"
+        );
+        assert!(
+            out.notes.iter().any(|n| n.contains("message growth")),
+            "headline note missing"
+        );
+    }
+
+    /// The full-scale acceptance run: flat vs hierarchical completes at
+    /// M = 32 (10 240 applications on the virtual-time medium), and the
+    /// root's message count grows strictly slower than flat's as M grows.
+    /// Ignored by default (minutes of work in debug builds); run with
+    /// `cargo test -p calciom-bench --release -- --ignored cluster_32`.
+    #[test]
+    #[ignore = "full-scale run; exercised by `fig15_cluster` without --quick"]
+    fn cluster_32_machines_root_traffic_grows_slower_than_flat() {
+        let out = run(false).unwrap();
+        let msgs = &out.figures[2];
+        let at = |label: &str, m: f64| {
+            msgs.series(label)
+                .unwrap()
+                .y_at(m)
+                .unwrap_or_else(|| panic!("{label}: no M={m} point"))
+        };
+        let flat_growth = at("flat total", 32.0) / at("flat total", 2.0).max(1e-9);
+        let root_growth = at("hierarchical root", 32.0) / at("hierarchical root", 2.0).max(1e-9);
+        assert!(
+            root_growth < flat_growth,
+            "root traffic must scale better: root x{root_growth:.2} vs flat x{flat_growth:.2}"
+        );
+    }
+}

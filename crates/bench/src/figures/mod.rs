@@ -15,6 +15,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig15;
 pub mod sec2b;
 
 use iobench::FigureData;

@@ -30,12 +30,15 @@
 //! coordination in their own drivers.
 
 use crate::arbiter::Arbiter;
+use crate::error::ConfigError;
 use crate::info::IoInfo;
 use crate::observe::{GrantKind, NullObserver, SimEvent, SimObserver};
+use crate::scenario::Scenario;
 use crate::strategy::{AccessOutcome, YieldOutcome};
 use pfs::AppId;
 use simcore::time::SimTime;
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
@@ -46,6 +49,15 @@ use std::sync::{Arc, Mutex};
 /// this trait is the seam where an MPI transport would plug in. Every
 /// operation is expressed as an exclusive visit to the [`Arbiter`], which
 /// keeps the protocol identical across transports.
+///
+/// The provided methods form the *topology seam*: a flat transport (one
+/// arbiter shared by every application) inherits the defaults, while a
+/// hierarchical transport such as
+/// [`ClusterTransport`](crate::ClusterTransport) overrides them to route
+/// each visit to the owning machine's leaf arbiter and to surface the
+/// simulated-time message traffic between arbiters. The defaults are
+/// written so that a flat transport's behavior is *bit-identical* to the
+/// pre-hierarchy code path — the golden trace hashes pin this.
 pub trait CoordinationTransport: Clone {
     /// Wraps a fresh arbiter.
     fn new(arbiter: Arbiter) -> Self;
@@ -53,6 +65,82 @@ pub trait CoordinationTransport: Clone {
     /// Runs `f` with exclusive access to the arbiter and returns its
     /// result.
     fn with<R>(&self, f: impl FnOnce(&mut Arbiter) -> R) -> R;
+
+    /// Builds the transport for a validated scenario, consuming the
+    /// session's freshly resolved arbiter. Flat transports reject
+    /// scenarios carrying a cluster topology (the topology would be
+    /// silently ignored otherwise); a cluster-aware transport instead
+    /// builds its arbiter tree from [`Scenario::cluster`].
+    fn for_scenario(scenario: &Scenario, arbiter: Arbiter) -> Result<Self, ConfigError> {
+        if scenario.cluster.is_some() {
+            return Err(ConfigError::ClusterUnsupported);
+        }
+        Ok(Self::new(arbiter))
+    }
+
+    /// Runs `f` with exclusive access to the arbiter responsible for
+    /// `app` — the routing point of hierarchical transports. Flat
+    /// transports have exactly one arbiter, so the default ignores the
+    /// application.
+    fn with_app<R>(&self, _app: AppId, f: impl FnOnce(&mut Arbiter) -> R) -> R {
+        self.with(f)
+    }
+
+    /// Whether `app` currently holds end-to-end access to the file
+    /// system. For a flat transport this is the arbiter's grant; a
+    /// hierarchical transport additionally requires the application's
+    /// machine to hold a shared-PFS slot.
+    fn is_granted(&self, app: AppId) -> bool {
+        self.with(|arb| arb.is_granted(app))
+    }
+
+    /// Total coordination messages exchanged so far — for a tree, the sum
+    /// over every arbiter plus the cross-arbiter traffic.
+    fn message_count(&self) -> u64 {
+        self.with(|arb| arb.message_count())
+    }
+
+    /// The waiting applications that are granted end-to-end right now —
+    /// the set a driver should wake. The default is the flat
+    /// granted ∩ waiting intersection; serialising schedules keep the
+    /// granted side tiny while thousands wait, overlap-heavy ones are the
+    /// reverse, so the walk takes whichever side is smaller. Both sides
+    /// iterate the same intersection in ascending id order, so the result
+    /// — and therefore the simulation — does not depend on the side
+    /// chosen.
+    fn resumable(&self, waiting: &BTreeSet<AppId>) -> Vec<AppId> {
+        self.with(|arb| {
+            if arb.active_count() <= waiting.len() {
+                arb.active()
+                    .into_iter()
+                    .filter(|app| waiting.contains(app))
+                    .collect()
+            } else {
+                waiting
+                    .iter()
+                    .copied()
+                    .filter(|app| arb.is_granted(*app))
+                    .collect()
+            }
+        })
+    }
+
+    /// The next simulated time at which the transport itself has work to
+    /// do (an in-flight cross-arbiter message arriving, a slot rotation
+    /// falling due). `None` for flat transports: all their state changes
+    /// happen inside driver-initiated visits.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Advances the transport's clock to `now`, delivers every
+    /// cross-arbiter message that has arrived by then, and returns the
+    /// waiting applications that became granted end-to-end as a result
+    /// (the driver schedules their resume notifications). A no-op for
+    /// flat transports.
+    fn deliver_due(&self, _now: SimTime, _waiting: &BTreeSet<AppId>) -> Vec<AppId> {
+        Vec::new()
+    }
 }
 
 /// In-process, single-threaded transport (`Rc<RefCell<Arbiter>>`).

@@ -132,6 +132,18 @@ impl Arbiter {
         self.info.get(&app)
     }
 
+    /// Latest information shared by every application, in id order — the
+    /// source a hierarchical arbiter aggregates into per-machine rollups
+    /// (read-only; sharing information stays a coordinator-driven act).
+    pub fn infos(&self) -> impl Iterator<Item = &IoInfo> {
+        self.info.values()
+    }
+
+    /// The arbiter's current simulated clock (last [`Arbiter::set_now`]).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     /// Applications currently granted access, in id order.
     pub fn active(&self) -> Vec<AppId> {
         self.active.iter().copied().collect()
@@ -146,6 +158,13 @@ impl Arbiter {
     /// order.
     pub fn parked(&self) -> Vec<AppId> {
         self.parked.iter().map(|(a, _)| a).collect()
+    }
+
+    /// Number of applications currently parked — the arbiter's queue
+    /// depth, without materializing the queue (load-aware callers such as
+    /// the hierarchical root poll this on every visit).
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
     }
 
     /// Whether the given application currently holds access.

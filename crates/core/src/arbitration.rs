@@ -160,6 +160,12 @@ impl ParkedQueue {
     pub(crate) fn first_with(&self, reason: ParkReason) -> Option<AppId> {
         self.by_reason[Self::slot(reason)].first().map(|(_, a)| *a)
     }
+
+    /// Number of parked applications with the given reason — `O(1)`, no
+    /// queue scan.
+    pub(crate) fn len_with(&self, reason: ParkReason) -> usize {
+        self.by_reason[Self::slot(reason)].len()
+    }
 }
 
 /// Read-only snapshot of the arbiter's state, handed to every policy
@@ -206,6 +212,14 @@ impl ArbiterView<'_> {
     /// `O(log n)`, no queue scan.
     pub fn parked_first_with(&self, reason: ParkReason) -> Option<AppId> {
         self.parked.first_with(reason)
+    }
+
+    /// Number of parked applications with the given reason — the queue
+    /// depth a load-aware policy (or the hierarchical root arbiter)
+    /// reads on every decision, so it avoids the [`parked`](Self::parked)
+    /// scan.
+    pub fn parked_len_with(&self, reason: ParkReason) -> usize {
+        self.parked.len_with(reason)
     }
 
     /// Whether the given accessor has a pending interruption request (it
@@ -1003,6 +1017,31 @@ mod tests {
         ] {
             assert_eq!(PolicySpec::from_text(&spec.to_text()).unwrap(), spec);
         }
+    }
+
+    #[test]
+    fn parked_queue_depths_are_tracked_per_reason() {
+        let mut parked = ParkedQueue::default();
+        parked.push_back(AppId(0), ParkReason::Waiting);
+        parked.push_back(AppId(1), ParkReason::Interrupted);
+        parked.push_back(AppId(2), ParkReason::Waiting);
+        let active = BTreeSet::new();
+        let interrupts = BTreeSet::new();
+        let info = BTreeMap::new();
+        let view = ArbiterView {
+            active: &active,
+            parked: &parked,
+            interrupt_requested: &interrupts,
+            info: &info,
+            now: SimTime::ZERO,
+            messages: 0,
+        };
+        assert_eq!(view.parked_len(), 3);
+        assert_eq!(view.parked_len_with(ParkReason::Waiting), 2);
+        assert_eq!(view.parked_len_with(ParkReason::Interrupted), 1);
+        parked.remove(AppId(1));
+        assert_eq!(parked.len_with(ParkReason::Interrupted), 0);
+        assert_eq!(parked.len_with(ParkReason::Waiting), 2);
     }
 
     #[test]

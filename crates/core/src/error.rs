@@ -27,6 +27,12 @@ pub enum ConfigError {
     /// The scenario named an arbitration policy the registry could not
     /// resolve or instantiate.
     Policy(PolicyError),
+    /// The scenario's cluster topology was invalid.
+    Cluster(ClusterConfigError),
+    /// The scenario carries a cluster topology but the session was built
+    /// on a flat (single-arbiter) transport that would silently ignore
+    /// it; run it through a cluster-aware transport instead.
+    ClusterUnsupported,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -39,6 +45,14 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::DuplicateApp(app) => write!(f, "duplicate application id {app}"),
             ConfigError::Policy(e) => write!(f, "arbitration policy: {e}"),
+            ConfigError::Cluster(e) => write!(f, "cluster topology: {e}"),
+            ConfigError::ClusterUnsupported => {
+                write!(
+                    f,
+                    "scenario has a cluster topology but the transport is flat; \
+                     use a cluster-aware transport (e.g. ClusterTransport)"
+                )
+            }
         }
     }
 }
@@ -49,8 +63,62 @@ impl std::error::Error for ConfigError {
             ConfigError::Pfs(e) => Some(e),
             ConfigError::App(e) => Some(e),
             ConfigError::Policy(e) => Some(e),
+            ConfigError::Cluster(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+/// A problem found while validating a scenario's cluster topology
+/// ([`ClusterSpec`](crate::ClusterSpec)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterConfigError {
+    /// The topology listed no machines.
+    NoMachines,
+    /// The root arbiter was given zero shared-PFS slots.
+    NoSlots,
+    /// A scenario application was assigned to no machine.
+    UnassignedApp(AppId),
+    /// An application was assigned to more than one machine (or twice to
+    /// the same machine).
+    DuplicateAssignment(AppId),
+    /// A machine listed an application the scenario does not run.
+    UnknownApp(AppId),
+}
+
+impl std::fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterConfigError::NoMachines => {
+                write!(f, "a cluster needs at least one machine")
+            }
+            ClusterConfigError::NoSlots => {
+                write!(f, "the root arbiter needs at least one shared-PFS slot")
+            }
+            ClusterConfigError::UnassignedApp(app) => {
+                write!(f, "application {app} is assigned to no machine")
+            }
+            ClusterConfigError::DuplicateAssignment(app) => {
+                write!(f, "application {app} is assigned to more than one machine")
+            }
+            ClusterConfigError::UnknownApp(app) => {
+                write!(f, "machine lists unknown application {app}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+impl From<ClusterConfigError> for ConfigError {
+    fn from(e: ClusterConfigError) -> Self {
+        ConfigError::Cluster(e)
+    }
+}
+
+impl From<ClusterConfigError> for Error {
+    fn from(e: ClusterConfigError) -> Self {
+        Error::Config(ConfigError::Cluster(e))
     }
 }
 

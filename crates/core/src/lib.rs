@@ -82,6 +82,7 @@
 pub mod api;
 pub mod arbiter;
 pub mod arbitration;
+pub mod cluster;
 pub mod error;
 pub mod info;
 pub mod metrics;
@@ -99,9 +100,10 @@ pub use arbitration::{
     ArbiterView, ArbitrationPolicy, GrantTrigger, ParkReason, PolicyError, PolicyRegistry,
     PolicySpec, RequestDecision, TimeoutDecision, YieldDecision,
 };
+pub use cluster::{ClusterSpec, ClusterStats, ClusterTransport, MachineLoad, MachineSpec};
 pub use error::{
-    AppRunState, ConfigError, DeadlockApp, Error, InfoError, ScenarioParseError, SessionError,
-    TraceParseError,
+    AppRunState, ClusterConfigError, ConfigError, DeadlockApp, Error, InfoError,
+    ScenarioParseError, SessionError, TraceParseError,
 };
 pub use info::IoInfo;
 pub use metrics::{

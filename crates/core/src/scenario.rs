@@ -15,6 +15,7 @@
 //! top-level round-trip tests assert.
 
 use crate::arbitration::{PolicyRegistry, PolicySpec};
+use crate::cluster::ClusterSpec;
 use crate::error::{ConfigError, Error, ScenarioParseError};
 use crate::metrics::EfficiencyMetric;
 use crate::policy::DynamicPolicy;
@@ -51,6 +52,13 @@ pub struct Scenario {
     /// [`SharingModel::FairFast`] is the `O(log n)` virtual-time model.
     #[serde(default)]
     pub medium: SharingModel,
+    /// Hierarchical multi-machine topology: per-machine leaf arbiters
+    /// under a slot-owning root (see
+    /// [`ClusterTransport`](crate::ClusterTransport)). `None` (the
+    /// default, and what every legacy scenario decodes to) runs the flat,
+    /// single-arbiter code path.
+    #[serde(default)]
+    pub cluster: Option<ClusterSpec>,
     /// How often applications issue coordination calls (interruption
     /// granularity).
     pub granularity: Granularity,
@@ -75,6 +83,7 @@ impl Scenario {
             strategy: Strategy::Interfere,
             arbitration: None,
             medium: SharingModel::default(),
+            cluster: None,
             granularity: Granularity::Round,
             policy: DynamicPolicy::new(EfficiencyMetric::CpuSecondsWasted),
             coordination_overhead: SimDuration::from_millis(1.0),
@@ -143,22 +152,40 @@ impl Scenario {
                 return Err(ConfigError::DuplicateApp(app.id));
             }
         }
+        if let Some(cluster) = &self.cluster {
+            cluster
+                .validate(self.apps.iter().map(|a| a.id))
+                .map_err(ConfigError::Cluster)?;
+        }
         Ok(())
     }
 
     /// Runs the scenario to completion on the in-process
-    /// [`LocalTransport`](crate::LocalTransport).
+    /// [`LocalTransport`](crate::LocalTransport) — or, when the scenario
+    /// carries a [`ClusterSpec`], on the hierarchical
+    /// [`ClusterTransport`](crate::ClusterTransport) (flat transports
+    /// reject cluster topologies rather than silently ignoring them).
     pub fn run(&self) -> Result<SessionReport, Error> {
-        Session::run(self)
+        if self.cluster.is_some() {
+            Session::<crate::ClusterTransport>::with_transport(self)?.execute()
+        } else {
+            Session::run(self)
+        }
     }
 
     /// Runs the scenario on the thread-safe
-    /// [`SharedTransport`](crate::SharedTransport). The simulation is
-    /// deterministic, so the report is identical to [`Scenario::run`]'s;
-    /// this entry point exists so that whole sessions can be built once
-    /// and executed on worker threads (see `iobench::parallel`).
+    /// [`SharedTransport`](crate::SharedTransport) (or the equally
+    /// thread-safe [`ClusterTransport`](crate::ClusterTransport) when a
+    /// cluster topology is present). The simulation is deterministic, so
+    /// the report is identical to [`Scenario::run`]'s; this entry point
+    /// exists so that whole sessions can be built once and executed on
+    /// worker threads (see `iobench::parallel`).
     pub fn run_shared(&self) -> Result<SessionReport, Error> {
-        Session::<crate::SharedTransport>::with_transport(self)?.execute()
+        if self.cluster.is_some() {
+            Session::<crate::ClusterTransport>::with_transport(self)?.execute()
+        } else {
+            Session::<crate::SharedTransport>::with_transport(self)?.execute()
+        }
     }
 
     /// Serializes the scenario to the plain-text `key = value` encoding.
@@ -187,6 +214,11 @@ impl Scenario {
         // written, so legacy (max-min) scenarios stay byte-identical.
         if self.medium != SharingModel::default() {
             kv(&mut out, "medium", self.medium.label().to_string());
+        }
+        // Optional key again: flat scenarios (the default) emit nothing,
+        // so pre-cluster documents stay byte-identical.
+        if let Some(cluster) = &self.cluster {
+            kv(&mut out, "cluster", cluster.to_text());
         }
         kv(
             &mut out,
@@ -361,6 +393,10 @@ impl Scenario {
                 .map(|v| SharingModel::from_label(&v).ok_or_else(|| invalid("medium", &v)))
                 .transpose()?
                 .unwrap_or_default(),
+            cluster: top
+                .remove("cluster")
+                .map(|v| ClusterSpec::from_text(&v))
+                .transpose()?,
             granularity: {
                 let v = take(&mut top, "granularity")?;
                 Granularity::from_label(&v).ok_or_else(|| invalid("granularity", &v))?
@@ -482,6 +518,17 @@ impl ScenarioBuilder {
     /// time.
     pub fn arbitration(mut self, spec: PolicySpec) -> Self {
         self.scenario.arbitration = Some(spec);
+        self
+    }
+
+    /// Places the applications on a hierarchical multi-machine topology:
+    /// one leaf arbiter per machine under a slot-owning root, with
+    /// modeled cross-arbiter message latency (see
+    /// [`ClusterTransport`](crate::ClusterTransport)). The topology is
+    /// validated against the application list at
+    /// [`ScenarioBuilder::build`] time.
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        self.scenario.cluster = Some(spec);
         self
     }
 
@@ -856,6 +903,55 @@ mod tests {
 
         // An unknown medium label fails decoding.
         let broken = text.replace("medium = fair-fast", "medium = psychic");
+        assert!(matches!(
+            Scenario::from_text(&broken),
+            Err(ScenarioParseError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn cluster_round_trips_and_legacy_text_is_unchanged() {
+        use crate::cluster::{ClusterSpec, MachineSpec};
+        use simcore::time::SimDuration;
+
+        // Flat scenarios emit no cluster key: their encoding is
+        // byte-identical to the pre-hierarchy format.
+        let legacy = sample();
+        assert!(legacy.cluster.is_none());
+        assert!(!legacy.to_text().contains("cluster"));
+
+        let mut clustered = sample();
+        clustered.cluster = Some(ClusterSpec::new(
+            1,
+            vec![
+                MachineSpec {
+                    latency: SimDuration::from_ticks(2_000),
+                    apps: vec![AppId(0)],
+                },
+                MachineSpec {
+                    latency: SimDuration::ZERO,
+                    apps: vec![AppId(1)],
+                },
+            ],
+        ));
+        clustered.validate().unwrap();
+        let text = clustered.to_text();
+        assert!(text.contains("cluster = slots=1"));
+        let back = Scenario::from_text(&text).unwrap();
+        assert_eq!(back, clustered);
+        assert_eq!(back.to_text(), text);
+
+        // A topology that does not match the application list fails
+        // validation with the typed cluster error.
+        let mut orphan = clustered.clone();
+        // simlint: allow(R4, the cluster was assigned five lines above)
+        orphan.cluster.as_mut().unwrap().machines.pop();
+        assert!(matches!(
+            orphan.validate().unwrap_err(),
+            ConfigError::Cluster(crate::error::ClusterConfigError::UnassignedApp(AppId(1)))
+        ));
+        // And a malformed cluster value fails decoding.
+        let broken = text.replace("cluster = slots=1", "cluster = slots=zero");
         assert!(matches!(
             Scenario::from_text(&broken),
             Err(ScenarioParseError::InvalidValue { .. })

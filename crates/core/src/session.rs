@@ -355,7 +355,7 @@ impl<T: CoordinationTransport> Session<T> {
             None => Arbiter::new(cfg.strategy, cfg.policy),
             Some(_) => Arbiter::with_policy(cfg.build_policy()?),
         };
-        let transport = T::new(arbiter);
+        let transport = T::for_scenario(&cfg, arbiter)?;
         let mut kernel = Kernel::new(pfs);
         let mut apps = BTreeMap::new();
         for app_cfg in &cfg.apps {
@@ -373,6 +373,13 @@ impl<T: CoordinationTransport> Session<T> {
             waiting: BTreeSet::new(),
             live_apps,
         })
+    }
+
+    /// The transport this session coordinates through — e.g. to read a
+    /// [`ClusterTransport`](crate::ClusterTransport)'s message-accounting
+    /// stats after cloning it out (transports are shared handles).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// Executes the scenario to completion, unobserved (the
@@ -398,12 +405,19 @@ impl<T: CoordinationTransport> Session<T> {
         };
         let horizon = SimTime::ZERO + self.cfg.horizon;
         while self.live_apps > 0 {
-            // The kernel owns time: the next decision point is the earlier
-            // of its queue head (phase arrival, communication completion,
-            // resume notification, delay-budget expiry) and the file
-            // system's next internal change (transfer completion, cache
-            // transition).
-            let Some(next) = self.kernel.peek_next_time() else {
+            // The kernel owns time: the next decision point is the
+            // earliest of its queue head (phase arrival, communication
+            // completion, resume notification, delay-budget expiry), the
+            // file system's next internal change (transfer completion,
+            // cache transition), and the transport's own wakeup (an
+            // in-flight cross-arbiter message arriving — `None` for flat
+            // transports).
+            let next = match (self.kernel.peek_next_time(), self.transport.next_wakeup()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            let Some(next) = next else {
                 // No decision point on either axis. If in-flight transfers
                 // are starved at zero bandwidth (e.g. a zero-capacity
                 // constraint), report that specifically: it is a file
@@ -419,7 +433,7 @@ impl<T: CoordinationTransport> Session<T> {
                     .map(|a| DeadlockApp {
                         app: a.cfg.id,
                         state: a.state.public(),
-                        granted: self.transport.with(|arb| arb.is_granted(a.cfg.id)),
+                        granted: self.transport.is_granted(a.cfg.id),
                     })
                     .collect();
                 return Err(SessionError::Deadlock { apps }.into());
@@ -440,6 +454,14 @@ impl<T: CoordinationTransport> Session<T> {
                 if let Some(app) = self.transfer_owner.remove(&tid) {
                     self.on_write_complete(tid, app, now, &mut em);
                 }
+            }
+
+            // Deliver cross-arbiter messages that have arrived by now (a
+            // no-op for flat transports): applications granted end-to-end
+            // by an arriving slot grant get their resume notifications
+            // queued for this very step.
+            for app in self.transport.deliver_due(now, &self.waiting) {
+                self.kernel.schedule(now, Event::Resume(app));
             }
 
             // Handle all queued events due now (including events handlers
@@ -473,7 +495,7 @@ impl<T: CoordinationTransport> Session<T> {
             makespan,
             SimEvent::SessionEnded {
                 makespan,
-                coordination_messages: self.transport.with(|arb| arb.message_count()),
+                coordination_messages: self.transport.message_count(),
             },
         );
         Ok(em.builder.finish())
@@ -526,7 +548,7 @@ impl<T: CoordinationTransport> Session<T> {
                     return;
                 }
                 let was_parked = rt.state == RtState::Parked;
-                if !self.transport.with(|arb| arb.is_granted(app)) {
+                if !self.transport.is_granted(app) {
                     return;
                 }
                 em.emit(
@@ -552,11 +574,18 @@ impl<T: CoordinationTransport> Session<T> {
                 // policy may keep the request queued instead — then the
                 // application simply continues waiting for an ordinary
                 // grant and no event is emitted.
-                let proceed = self.transport.with(|arb| {
+                let proceed = self.transport.with_app(app, |arb| {
                     arb.set_now(now);
                     arb.delay_expired(app)
                 });
                 if !proceed {
+                    return;
+                }
+                // A hierarchical transport may accept the forced grant at
+                // the leaf while the machine still lacks its shared-PFS
+                // slot: the application keeps waiting and resumes when the
+                // slot arrives (flat transports are always granted here).
+                if !self.transport.is_granted(app) {
                     return;
                 }
                 em.emit(
@@ -632,13 +661,21 @@ impl<T: CoordinationTransport> Session<T> {
             if !started {
                 // Start of the phase: ask for access (Inform + Check/Wait).
                 em.emit(now, SimEvent::AccessRequested { app });
-                let outcome = self.transport.with(|arb| {
+                let outcome = self.transport.with_app(app, |arb| {
                     arb.set_now(now);
                     arb.update_info(info);
                     arb.request_access(app)
                 });
                 match outcome {
                     AccessOutcome::Granted => {
+                        // The leaf arbiter admitted the application, but a
+                        // hierarchical transport may still be waiting for
+                        // its machine's shared-PFS slot; park until the
+                        // grant is end-to-end (always true when flat).
+                        if !self.transport.is_granted(app) {
+                            self.set_state(app, RtState::WantAccess);
+                            return;
+                        }
                         em.emit(
                             now,
                             SimEvent::AccessGranted {
@@ -671,7 +708,7 @@ impl<T: CoordinationTransport> Session<T> {
             } else {
                 // Mid-phase coordination point (Release/Inform between
                 // rounds or files): check whether we must yield.
-                let outcome = self.transport.with(|arb| {
+                let outcome = self.transport.with_app(app, |arb| {
                     arb.set_now(now);
                     arb.update_info(info);
                     arb.yield_point(app)
@@ -762,7 +799,7 @@ impl<T: CoordinationTransport> Session<T> {
             (more, next_start)
         };
 
-        self.transport.with(|arb| {
+        self.transport.with_app(app, |arb| {
             arb.set_now(now);
             arb.release(app);
         });
@@ -792,31 +829,13 @@ impl<T: CoordinationTransport> Session<T> {
     }
 
     /// Schedules a resume notification (with the coordination latency) for
-    /// every parked application that the arbiter has granted.
+    /// every parked application that the transport reports granted
+    /// end-to-end ([`CoordinationTransport::resumable`] — the flat
+    /// granted ∩ waiting intersection, further gated on shared-PFS slots
+    /// for hierarchical transports).
     fn notify_granted(&mut self, now: SimTime) {
         let overhead = self.cfg.coordination_overhead;
-        // The resumable set is granted ∩ waiting. Serialising schedules keep
-        // the granted side tiny while thousands wait; overlap-heavy ones
-        // (e.g. bounded delay after its force-grants) are the reverse, so
-        // walk whichever side is smaller. Both sides iterate in ascending
-        // id order over the same intersection, so the schedule order — and
-        // therefore the simulation — does not depend on the side chosen.
-        let waiting = &self.waiting;
-        let resumable: Vec<AppId> = self.transport.with(|arb| {
-            if arb.active_count() <= waiting.len() {
-                arb.active()
-                    .into_iter()
-                    .filter(|app| waiting.contains(app))
-                    .collect()
-            } else {
-                waiting
-                    .iter()
-                    .copied()
-                    .filter(|app| arb.is_granted(*app))
-                    .collect()
-            }
-        });
-        for app in resumable {
+        for app in self.transport.resumable(&self.waiting) {
             self.kernel.schedule(now + overhead, Event::Resume(app));
         }
     }

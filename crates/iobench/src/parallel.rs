@@ -14,7 +14,10 @@
 //!   bit-identical to a sequential run.
 
 use crate::baseline::BaselineCache;
-use calciom::{Error, Scenario, Session, SessionReport, SharedTransport, Trace, TraceRecorder};
+use calciom::{
+    ClusterStats, ClusterTransport, Error, Scenario, Session, SessionReport, SharedTransport,
+    Trace, TraceRecorder,
+};
 use pfs::AppId;
 use std::collections::BTreeMap;
 use std::thread;
@@ -179,6 +182,44 @@ pub struct ShardedRun {
     /// Host wall-clock spent executing the session (excludes building and
     /// baseline lookups) — the scale experiments' throughput signal.
     pub wall: Duration,
+    /// Hierarchical-arbitration message accounting, for scenarios that
+    /// ran over a [`ClusterTransport`] (`scenario.cluster` set); `None`
+    /// for flat runs.
+    pub cluster: Option<ClusterStats>,
+}
+
+/// A fully-built session ready to move to a worker thread, dispatched on
+/// the scenario's coordination topology: flat scenarios run over the
+/// [`SharedTransport`], cluster scenarios (`scenario.cluster` set) over a
+/// [`ClusterTransport`] — same sweep machinery, same baselines, either
+/// way. The cluster variant keeps a clone of the transport handle
+/// (transports are shared handles) so the arbiter tree's message
+/// accounting survives the session's consumption by `execute`.
+enum SessionJob {
+    Flat(Session<SharedTransport>),
+    Cluster(Session<ClusterTransport>, ClusterTransport),
+}
+
+impl SessionJob {
+    fn build(scenario: &Scenario) -> Result<SessionJob, Error> {
+        if scenario.cluster.is_some() {
+            let session = Session::<ClusterTransport>::with_transport(scenario)?;
+            let handle = session.transport().clone();
+            Ok(SessionJob::Cluster(session, handle))
+        } else {
+            Ok(SessionJob::Flat(Session::with_transport(scenario)?))
+        }
+    }
+
+    fn execute(self) -> Result<(SessionReport, Option<ClusterStats>), Error> {
+        match self {
+            SessionJob::Flat(session) => Ok((session.execute()?, None)),
+            SessionJob::Cluster(session, handle) => {
+                let report = session.execute()?;
+                Ok((report, Some(handle.stats())))
+            }
+        }
+    }
 }
 
 /// [`run_scenarios`] for machine-scale sweeps: the scenario list is split
@@ -201,15 +242,10 @@ pub fn run_scenarios_sharded(
     // scenario surfaces before a single simulation starts.
     let jobs = scenarios
         .iter()
-        .map(|scenario| {
-            Ok((
-                Session::<SharedTransport>::with_transport(scenario)?,
-                scenario,
-            ))
-        })
+        .map(|scenario| Ok((SessionJob::build(scenario)?, scenario)))
         .collect::<Result<Vec<_>, Error>>()?;
-    parallel_map_owned(jobs, shards, |(session, scenario)| {
-        execute_sharded_job(session, scenario, cache)
+    parallel_map_owned(jobs, shards, |(job, scenario)| {
+        execute_sharded_job(job, scenario, cache)
     })
     .into_iter()
     .collect()
@@ -236,12 +272,7 @@ pub fn run_scenarios_sharded_streamed(
 ) -> Result<(), Error> {
     let jobs = scenarios
         .iter()
-        .map(|scenario| {
-            Ok((
-                Session::<SharedTransport>::with_transport(scenario)?,
-                scenario,
-            ))
-        })
+        .map(|scenario| Ok((SessionJob::build(scenario)?, scenario)))
         .collect::<Result<Vec<_>, Error>>()?;
     let n = jobs.len();
     if n == 0 {
@@ -253,7 +284,7 @@ pub fn run_scenarios_sharded_streamed(
     // Contiguous chunks, exactly like parallel_map_owned, but each worker
     // reports through a channel the moment a job finishes; the calling
     // thread reorders into input order and feeds the sink.
-    type IndexedJob<'a> = (usize, (Session<SharedTransport>, &'a Scenario));
+    type IndexedJob<'a> = (usize, (SessionJob, &'a Scenario));
     let mut chunks: Vec<Vec<IndexedJob<'_>>> = Vec::new();
     for (i, job) in jobs.into_iter().enumerate() {
         if i % chunk == 0 {
@@ -269,8 +300,8 @@ pub fn run_scenarios_sharded_streamed(
         for batch in chunks {
             let tx = tx.clone();
             scope.spawn(move || {
-                for (index, (session, scenario)) in batch {
-                    let result = execute_sharded_job(session, scenario, cache);
+                for (index, (job, scenario)) in batch {
+                    let result = execute_sharded_job(job, scenario, cache);
                     // A send failure means the receiver gave up (an
                     // earlier shard errored); stop simulating.
                     if tx.send((index, result)).is_err() {
@@ -303,12 +334,12 @@ pub fn run_scenarios_sharded_streamed(
 /// the shared body of [`run_scenarios_sharded`] and
 /// [`run_scenarios_sharded_streamed`].
 fn execute_sharded_job(
-    session: Session<SharedTransport>,
+    job: SessionJob,
     scenario: &Scenario,
     cache: &BaselineCache,
 ) -> Result<ShardedRun, Error> {
     let started = Instant::now();
-    let report = session.execute()?;
+    let (report, cluster) = job.execute()?;
     let wall = started.elapsed();
     let mut alone = BTreeMap::new();
     for app in &scenario.apps {
@@ -318,6 +349,7 @@ fn execute_sharded_job(
         report,
         alone,
         wall,
+        cluster,
     })
 }
 
@@ -476,6 +508,42 @@ mod tests {
         assert_eq!(cache.hits() + cache.misses(), 8);
         assert!(cache.misses() >= 2 && cache.misses() <= 4);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sharded_sweep_dispatches_cluster_scenarios_to_the_arbiter_tree() {
+        use calciom::{ClusterSpec, MachineSpec};
+        use simcore::SimDuration;
+
+        // A 2-machine, 1-slot tree alongside flat scenarios in one sweep:
+        // the flat runs carry no cluster stats, the tree run reports its
+        // root traffic, and the tree run matches `Scenario::run`'s
+        // dispatch bit for bit.
+        let mut scenarios = scenario_grid();
+        let mut clustered = scenarios[1].clone();
+        clustered.cluster = Some(ClusterSpec::new(
+            1,
+            vec![
+                MachineSpec {
+                    latency: SimDuration::from_millis(1.0),
+                    apps: vec![AppId(0)],
+                },
+                MachineSpec {
+                    latency: SimDuration::from_millis(1.0),
+                    apps: vec![AppId(1)],
+                },
+            ],
+        ));
+        scenarios.push(clustered.clone());
+
+        let cache = BaselineCache::new();
+        let runs = run_scenarios_sharded(&scenarios, 2, &cache).unwrap();
+        assert!(runs[..4].iter().all(|r| r.cluster.is_none()));
+        let tree = runs[4].cluster.as_ref().expect("cluster stats recorded");
+        assert_eq!(tree.machines, 2);
+        assert!(tree.escalations > 0, "two contending machines escalate");
+        assert_eq!(runs[4].report, clustered.run().unwrap());
+        assert_eq!(runs[4].alone.len(), 2);
     }
 
     #[test]

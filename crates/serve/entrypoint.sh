@@ -1,0 +1,33 @@
+#!/bin/sh
+# Container entrypoint for calciom-serve.
+#
+# The server takes its graceful-shutdown signal on standard input (a
+# line reading `shutdown`), not from OS signals — std has no signal
+# handling. This wrapper bridges the container runtime's SIGTERM/SIGINT
+# onto that channel: the server reads a FIFO as stdin, the trap writes
+# `shutdown` into it, and `docker stop` drains in-flight requests
+# instead of killing them mid-response.
+set -eu
+
+ctl="${CALCIOM_CTL_FIFO:-/tmp/calciom-serve.ctl}"
+rm -f "$ctl"
+mkfifo "$ctl"
+
+/usr/local/bin/calciom-serve <"$ctl" &
+server=$!
+
+# Hold a writer open so the server's stdin never sees EOF.
+exec 3>"$ctl"
+
+request_shutdown() {
+    echo shutdown >&3
+}
+trap request_shutdown TERM INT
+
+# A trapped signal interrupts `wait` before the server exits; loop until
+# the process is really gone so the drain completes before we return.
+status=0
+while kill -0 "$server" 2>/dev/null; do
+    wait "$server" && status=0 || status=$?
+done
+exit "$status"

@@ -165,12 +165,22 @@ fn keep_alive_reuse_shows_one_conn_id_in_the_request_log() {
         let other = client::get(addr, "/v1/policies").unwrap();
         assert_eq!(other.status, 200);
 
-        let ids: Vec<Option<u64>> = log
-            .records()
-            .iter()
-            .filter(|r| r.path == "/v1/policies")
-            .map(|r| r.conn)
-            .collect();
+        // The server records a request *after* the response bytes go
+        // out, so the client can race ahead of the log — poll briefly
+        // for the last record instead of asserting instantly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let ids: Vec<Option<u64>> = loop {
+            let ids: Vec<Option<u64>> = log
+                .records()
+                .iter()
+                .filter(|r| r.path == "/v1/policies")
+                .map(|r| r.conn)
+                .collect();
+            if ids.len() >= 4 || Instant::now() >= deadline {
+                break ids;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
         assert_eq!(ids.len(), 4, "{mode:?}: four logged requests");
         assert!(
             ids[0].is_some(),

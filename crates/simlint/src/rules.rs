@@ -106,11 +106,19 @@ impl ScopeConfig {
         let own = |names: &[&str]| names.iter().map(|n| n.to_string()).collect();
         ScopeConfig {
             order_sensitive: own(&[
-                "simcore", "core", "pfs", "mpiio", "iobench", "simlint",
+                "simcore",
+                "core",
+                "pfs",
+                "mpiio",
+                "iobench",
+                "simlint",
                 // serve promises byte-identical response bodies for
                 // identical requests; hash-order iteration would leak
                 // into JSON rendering.
                 "serve",
+                // workloads generates scenarios (MachineMix/ClusterMix)
+                // whose app order feeds golden-trace determinism.
+                "workloads",
             ]),
             wall_clock_exempt: vec![
                 (
@@ -589,7 +597,7 @@ mod tests {
     fn r1_only_fires_in_order_sensitive_crates() {
         let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) {}";
         assert_eq!(scan_file(&input("simcore", src)).len(), 2);
-        assert!(scan_file(&input("workloads", src)).is_empty());
+        assert_eq!(scan_file(&input("workloads", src)).len(), 2);
         assert!(scan_file(&input("bench", src)).is_empty());
     }
 

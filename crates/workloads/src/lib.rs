@@ -19,6 +19,10 @@
 //!   machine-level mixes (seeded-random sizes, periods, start jitter)
 //!   packaged as runnable `calciom` scenarios — the scale input of the
 //!   `fig13_scale` experiment.
+//! * [`cluster_mix`] — the [`ClusterMix`] generator: M machines ×
+//!   N applications over one shared PFS, packaged either flat or as a
+//!   hierarchical arbiter tree — the input of the `fig15_cluster`
+//!   experiment.
 //!
 //! ## Example
 //!
@@ -37,12 +41,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster_mix;
 pub mod concurrency;
 pub mod machine_mix;
 pub mod probability;
 pub mod synthetic;
 pub mod trace;
 
+pub use cluster_mix::ClusterMix;
 pub use concurrency::ConcurrencyDistribution;
 pub use machine_mix::MachineMix;
 pub use probability::{probability_concurrent_io, probability_second_arrives_during_first};

@@ -219,6 +219,44 @@ fn registry_built_policies_match_the_goldens_too() {
 }
 
 #[test]
+fn single_machine_cluster_matches_the_goldens_bit_for_bit() {
+    use calciom_stack::calciom::{ClusterSpec, ClusterTransport, MachineSpec};
+
+    // The exactness envelope of the hierarchical arbiter: a tree with one
+    // leaf holding its slot from the start and zero cross-arbiter latency
+    // never consults the root, so the schedule — every timestamp, order
+    // and payload of every golden scenario — must match the flat arbiter
+    // bit for bit. The trace text excludes the cluster header line by
+    // hashing the flat scenario's encoding, so the hashes below are the
+    // same pinned constants as `traces_match_the_pre_kernel_goldens`.
+    for (label, expected, scenario) in matrix() {
+        let mut clustered = scenario.clone();
+        clustered.cluster = Some(ClusterSpec::new(
+            1,
+            vec![MachineSpec {
+                latency: SimDuration::ZERO,
+                apps: clustered.apps.iter().map(|a| a.id).collect(),
+            }],
+        ));
+        let mut recorder = TraceRecorder::for_scenario(&scenario);
+        let report = Session::<ClusterTransport>::with_transport(&clustered)
+            .unwrap()
+            .execute_with(&mut recorder)
+            .unwrap();
+        let hash = fnv1a64(recorder.into_trace().to_text().as_bytes());
+        assert_eq!(
+            hash, expected,
+            "{label}: 1-machine cluster diverged from the flat arbiter"
+        );
+        assert_eq!(
+            report,
+            scenario.run().unwrap(),
+            "{label}: cluster report diverged"
+        );
+    }
+}
+
+#[test]
 fn shared_transport_matches_the_goldens_too() {
     for (label, _, scenario) in matrix() {
         assert_eq!(

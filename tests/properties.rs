@@ -391,6 +391,58 @@ proptest! {
         }
     }
 
+    /// Starvation freedom of the hierarchical arbiter: on any random
+    /// 2–4-machine cluster mix — random per-machine populations, slot
+    /// counts and cross-arbiter latencies — every application on every
+    /// machine finishes all of its phases before the horizon. The FIFO
+    /// root queue plus quantum rotation guarantees every leaf's turn
+    /// comes, whatever the draw.
+    #[test]
+    fn hierarchical_arbitration_is_starvation_free(
+        machines in 2usize..5,
+        napps in 2usize..5,
+        slots in 1u32..3,
+        latency_ms in 0u64..2_000,
+        seed in 0u64..10_000,
+    ) {
+        use workloads::{ClusterMix, MachineMix};
+
+        let mix = ClusterMix {
+            machines,
+            apps_per_machine: napps,
+            template: MachineMix {
+                seed,
+                max_procs: 512,
+                bytes_per_proc: (0.5 * MB, 2.0 * MB),
+                start_window_secs: 10.0,
+                ..MachineMix::default()
+            },
+            slots: slots.min(machines as u32),
+            latency_secs: latency_ms as f64 / 1000.0,
+            ..ClusterMix::default()
+        };
+        let scenario = mix.scenario_hierarchical(Strategy::FcfsSerialize);
+        let report = scenario.run().unwrap_or_else(|e| {
+            panic!("cluster mix(machines={machines}, napps={napps}, slots={slots}, \
+                    latency_ms={latency_ms}, seed={seed}) failed: {e}")
+        });
+        prop_assert_eq!(report.apps.len(), machines * napps);
+        for (app_cfg, app_report) in scenario.apps.iter().zip(&report.apps) {
+            prop_assert!(
+                app_report.phases.len() == app_cfg.phases as usize,
+                "app {} ({}) starved: finished {} of {} phases",
+                app_cfg.id,
+                app_cfg.name,
+                app_report.phases.len(),
+                app_cfg.phases
+            );
+        }
+        prop_assert!(
+            report.makespan.as_secs() <= scenario.horizon.as_secs(),
+            "makespan beyond the horizon"
+        );
+    }
+
     /// The policy name/argument codec round-trips for every registered
     /// policy, including randomly parameterized time arguments: text →
     /// spec → policy → spec → text is the identity.
